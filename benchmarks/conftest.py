@@ -1,0 +1,51 @@
+"""Shared fixtures for the benchmark harness.
+
+Every file in this directory regenerates one table or figure of the paper
+(see DESIGN.md's per-experiment index).  The underlying tuning runs are
+cached on disk under ``results/cache`` so the full harness can be re-run
+cheaply; delete that directory (or set ``REPRO_USE_CACHE=0``) to force fresh
+runs.  Scale knobs are documented in :mod:`repro.experiments.config`.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.experiments.config import default_config  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def experiment_config():
+    """The experiment configuration shared by all benchmark files."""
+    return default_config()
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Print a rendered table/figure and append it to ``results/paper_artifacts.txt``.
+
+    pytest captures stdout by default, so the artifact file is the reliable
+    place to inspect the regenerated tables and figure series after a
+    benchmark run (or pass ``-s`` to see them live).
+    """
+    artifact_path = Path(__file__).resolve().parents[1] / "results" / "paper_artifacts.txt"
+    artifact_path.parent.mkdir(parents=True, exist_ok=True)
+
+    def _emit(text: str) -> None:
+        print()
+        print(text)
+        print()
+        with artifact_path.open("a") as handle:
+            handle.write(text + "\n\n")
+
+    return _emit
+
+
+def run_once(benchmark, func):
+    """Run ``func`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)

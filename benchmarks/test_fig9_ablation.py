@@ -1,0 +1,43 @@
+"""Fig. 9: ablation of BaCO's design choices on the TACO SpMM kernel.
+
+Ablated features: the permutation semimetric (Spearman vs Kendall vs Hamming
+vs naive categorical), the log transformations of parameters / objective, and
+the lengthscale priors.  The paper finds that no single choice dominates but
+that the default (Spearman + transformations + priors) is the strongest
+overall, with transformations mattering most.
+"""
+
+from __future__ import annotations
+
+import math
+
+from conftest import run_once
+
+from repro.experiments.figures import figure9_data
+from repro.experiments.reporting import format_checkpoint_study
+
+_VARIANTS = {
+    "BaCO",
+    "BaCO (kendall)",
+    "BaCO (hamming)",
+    "BaCO (naive permutations)",
+    "BaCO (no transformations)",
+    "BaCO (no priors)",
+}
+
+
+def test_fig9_design_choice_ablation(benchmark, emit, experiment_config):
+    data = run_once(benchmark, lambda: figure9_data(experiment_config))
+    emit(format_checkpoint_study(data, "[Fig. 9] Ablation (geomean rel. to expert, SpMM)"))
+
+    assert set(data) == _VARIANTS
+    for variant, values in data.items():
+        for level, value in values.items():
+            assert math.isfinite(value) and value > 0, (variant, level)
+
+    full = {variant: values["full"] for variant, values in data.items()}
+    best = max(full.values())
+    # default BaCO is at (or very near) the top of the ablation at full budget
+    assert full["BaCO"] >= best * 0.9
+    # removing the log transformations should not help
+    assert full["BaCO"] >= full["BaCO (no transformations)"] * 0.9

@@ -1,0 +1,25 @@
+"""Table 3: benchmark search-space statistics (dimensions, types, constraints, sizes)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.reporting import format_table
+from repro.experiments.tables import table3_rows
+from repro.workloads import benchmark_names
+
+
+def test_table3_space_statistics(benchmark, emit):
+    """Regenerate Table 3 for all 25 benchmark instances."""
+
+    def build():
+        return table3_rows(benchmark_names())
+
+    headers, rows = run_once(benchmark, build)
+    emit(format_table(headers, rows, title="[Table 3] Benchmark search spaces"))
+    assert len(rows) == 25
+    # spot-check a few rows against the paper's qualitative characteristics
+    by_name = {row[0]: row for row in rows}
+    assert by_name["rise_mm_gpu"][1] == 10
+    assert by_name["hpvm_audio"][1] == 15
+    assert by_name["taco_ttv_facebook"][3] == "K/H"

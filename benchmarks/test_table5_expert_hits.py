@@ -1,0 +1,20 @@
+"""Table 5: how many repetitions (out of N) reach expert-level performance."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.reporting import format_table
+from repro.experiments.tables import table5_rows
+
+
+def test_table5_runs_reaching_expert(benchmark, emit, experiment_config):
+    headers, rows = run_once(benchmark, lambda: table5_rows(experiment_config))
+    emit(format_table(headers, rows, title="[Table 5] Repetitions reaching expert-level performance"))
+
+    totals = rows[-1]
+    assert totals[0] == "TOTAL"
+    by_tuner = dict(zip(headers[1:-1], totals[1:-1]))
+    # BaCO reaches expert level in at least as many runs as any baseline
+    assert by_tuner["BaCO"] >= max(v for k, v in by_tuner.items() if k != "BaCO")
+    assert by_tuner["BaCO"] > 0

@@ -1,0 +1,50 @@
+"""Tables 6, 7, 8: performance relative to the expert at tiny / small / full budget.
+
+The paper's overall means (last row of each table): BaCO 0.76 / 1.22 / 1.41,
+with every baseline clearly behind at every budget.  The reproduction asserts
+the ordering and the increase of BaCO's score with larger budgets.
+"""
+
+from __future__ import annotations
+
+import math
+
+from conftest import run_once
+
+from repro.experiments.reporting import format_table
+from repro.experiments.tables import relative_performance_rows
+
+_TITLES = {
+    "tiny": "[Table 6] Relative performance vs expert — tiny budget",
+    "small": "[Table 7] Relative performance vs expert — small budget",
+    "full": "[Table 8] Relative performance vs expert — full budget",
+}
+
+
+def _overall_means(headers, rows):
+    summary = rows[-1]
+    assert summary[0].startswith("==")
+    return dict(zip(headers[1:], summary[1:]))
+
+
+def test_tables_6_7_8_relative_performance(benchmark, emit, experiment_config):
+    def build():
+        return {level: relative_performance_rows(level, experiment_config) for level in _TITLES}
+
+    tables = run_once(benchmark, build)
+    overall = {}
+    for level, (headers, rows) in tables.items():
+        emit(format_table(headers, rows, title=_TITLES[level]))
+        overall[level] = _overall_means(headers, rows)
+
+    # BaCO leads the overall mean at every budget level
+    for level, means in overall.items():
+        baco = means["BaCO"]
+        assert math.isfinite(baco)
+        for tuner, value in means.items():
+            if tuner != "BaCO" and not (isinstance(value, float) and math.isnan(value)):
+                assert baco >= value * 0.95, (level, tuner)
+
+    # BaCO improves as the budget grows, and approaches expert level at full budget
+    assert overall["full"]["BaCO"] >= overall["tiny"]["BaCO"]
+    assert overall["full"]["BaCO"] > 0.85

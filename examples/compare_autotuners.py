@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Compare all five autotuners on one benchmark (a miniature Fig. 7 panel).
+
+Runs BaCO, ATF/OpenTuner, Ytopt, uniform sampling, and CoT sampling on a
+chosen benchmark for a few repetitions and prints the average best-so-far
+trajectory plus how many evaluations each tuner needed to reach expert-level
+performance.
+
+Run:  python examples/compare_autotuners.py [benchmark-name] [repetitions]
+      (defaults: rise_scal_gpu, 3 repetitions)
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+import numpy as np
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.metrics import evaluations_to_reach, mean_best_curve, relative_performance
+from repro.experiments.runner import MAIN_TUNERS, run_benchmark
+from repro.workloads import get_benchmark
+
+
+def main() -> int:
+    name = sys.argv[1] if len(sys.argv) > 1 else "rise_scal_gpu"
+    repetitions = int(sys.argv[2]) if len(sys.argv) > 2 else 3
+    benchmark = get_benchmark(name)
+    config = ExperimentConfig(repetitions=repetitions, budget_scale=0.5, use_cache=False)
+    budget = config.scaled_budget(benchmark.full_budget)
+
+    print(f"benchmark  : {benchmark.description}")
+    print(f"budget     : {budget} evaluations x {repetitions} repetitions per tuner")
+    if benchmark.has_expert:
+        print(f"expert     : {benchmark.expert_value:.4f} ms")
+    print(f"default    : {benchmark.default_value:.4f} ms")
+    print("\nrunning — this evaluates the simulated compiler a few hundred times ...\n")
+
+    results = run_benchmark(benchmark, MAIN_TUNERS, budget=budget, config=config)
+
+    checkpoints = sorted({max(1, budget // 4), budget // 2, budget})
+    header = "tuner".ljust(20) + "".join(f"@{c}".rjust(12) for c in checkpoints)
+    header += "rel. to expert".rjust(18) + "evals to expert".rjust(18)
+    print(header)
+    print("-" * len(header))
+    for tuner in MAIN_TUNERS:
+        histories = results[tuner]
+        curve = mean_best_curve(histories, budget)
+        cells = "".join(f"{curve[c - 1]:12.4f}" for c in checkpoints)
+        relative = relative_performance(benchmark, histories, budget)
+        to_expert = (
+            evaluations_to_reach(histories, benchmark.expert_value, budget)
+            if benchmark.has_expert
+            else float("nan")
+        )
+        to_expert_str = f"{to_expert:.0f}" if np.isfinite(to_expert) and to_expert < budget else "-"
+        print(f"{tuner:20s}{cells}{relative:18.2f}{to_expert_str:>18s}")
+
+    print("\n(values are runtimes in ms of the simulated kernel; 'rel. to expert' > 1")
+    print(" means the tuner found a schedule faster than the expert configuration)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

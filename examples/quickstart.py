@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Quickstart: autotune a black-box "compiler" with BaCO in ~40 evaluations.
+
+This example defines a small mixed-type search space — an exponential tile
+size, a parallelization scheme, an unroll factor, a loop-order permutation —
+with one known constraint and one *hidden* constraint, then lets BaCO search
+it.  It mirrors how you would attach BaCO to a real compiler: the objective
+function is the only place where your toolchain is invoked.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro import (
+    BacoTuner,
+    CategoricalParameter,
+    Constraint,
+    ObjectiveResult,
+    OrdinalParameter,
+    PermutationParameter,
+    SearchSpace,
+    UniformSamplingTuner,
+)
+
+
+def build_search_space() -> SearchSpace:
+    """Tile size, unroll factor, schedule, and a 4-loop reordering."""
+    parameters = [
+        OrdinalParameter("tile", [4, 8, 16, 32, 64, 128, 256], transform="log", default=32),
+        OrdinalParameter("unroll", [1, 2, 4, 8, 16], transform="log", default=1),
+        CategoricalParameter("schedule", ["static", "dynamic", "guided"], default="static"),
+        PermutationParameter("loop_order", 4),
+    ]
+    # known constraint: the unroll factor must divide the tile size
+    constraints = [Constraint("tile % unroll == 0")]
+    return SearchSpace(parameters, constraints)
+
+
+def pretend_compiler(config) -> ObjectiveResult:
+    """A stand-in for "compile, run, measure" — replace this with your toolchain.
+
+    The model has a sweet spot around tile=64, unroll=8, dynamic scheduling,
+    and the loop order (1, 0, 2, 3); tiles above 128 with unroll 16 blow the
+    instruction cache and fail to "run" (a hidden constraint).
+    """
+    if config["tile"] >= 128 and config["unroll"] == 16:
+        return ObjectiveResult(value=math.inf, feasible=False)
+
+    runtime = 10.0
+    runtime *= 1.0 + 0.3 * abs(math.log2(config["tile"]) - math.log2(64))
+    runtime *= 1.0 + 0.15 * abs(math.log2(config["unroll"]) - 3)
+    runtime *= {"static": 1.25, "dynamic": 1.0, "guided": 1.1}[config["schedule"]]
+    best_order = (1, 0, 2, 3)
+    displacement = sum((a - b) ** 2 for a, b in zip(config["loop_order"], best_order))
+    runtime *= 1.0 + 0.05 * displacement
+    return ObjectiveResult(value=runtime, feasible=True)
+
+
+def main() -> int:
+    space = build_search_space()
+    print(f"search space: {space.dimension} parameters, "
+          f"{space.feasible_size():.0f} of {space.dense_size():.0f} configurations feasible")
+
+    budget = 40
+    baco = BacoTuner(space, seed=0)
+    history = baco.tune(pretend_compiler, budget=budget)
+
+    best = history.best()
+    print(f"\nBaCO best after {budget} evaluations: {best.value:.3f} ms")
+    print(f"  configuration: {best.configuration}")
+    print(f"  feasible evaluations: {history.n_feasible}/{len(history)}")
+
+    random_history = UniformSamplingTuner(space, seed=0).tune(pretend_compiler, budget=budget)
+    print(f"\nuniform random sampling best: {random_history.best_value():.3f} ms")
+    improvement = random_history.best_value() / best.value
+    print(f"BaCO found a configuration {improvement:.2f}x faster than random search")
+
+    print("\nbest-so-far trajectory (BaCO):")
+    for index, value in enumerate(history.best_so_far(), start=1):
+        if index % 5 == 0 or index == 1:
+            print(f"  after {index:3d} evaluations: {value:.3f} ms")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

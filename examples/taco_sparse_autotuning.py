@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Autotuning sparse tensor algebra schedules (TACO-style workload).
+
+This example reproduces, at a small scale, the workflow of the paper's TACO
+evaluation: pick a sparse kernel and a matrix, let BaCO search the scheduling
+space (tile sizes, OpenMP scheduling, unrolling, loop reordering), and compare
+the result against the default and expert configurations and against
+ATF/OpenTuner-style heuristic search.
+
+It also demonstrates RQ4's "configuration insight": the best schedule BaCO
+finds uses a *non-default loop order*, which is exactly the part of the space
+the original experts did not explore.
+
+Run:  python examples/taco_sparse_autotuning.py [benchmark-name]
+      (default benchmark: taco_spmm_scircuit)
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro import BacoTuner, OpenTunerLikeTuner, get_benchmark
+from repro.core.baco import BacoSettings
+
+
+def main() -> int:
+    name = sys.argv[1] if len(sys.argv) > 1 else "taco_spmm_scircuit"
+    benchmark = get_benchmark(name)
+    if benchmark.framework != "TACO":
+        raise SystemExit(f"{name} is not a TACO benchmark; try taco_spmm_scircuit")
+
+    info = benchmark.describe()
+    print(f"benchmark      : {benchmark.description}")
+    print(f"parameters     : {info['dimension']} ({info['types']}), constraints: {info['constraints'] or 'none'}")
+    print(f"space size     : {info['dense_size']:.2e} dense, {info['feasible_size']:.2e} feasible")
+    print(f"default config : {benchmark.default_value * 1000:.3f} us")
+    print(f"expert config  : {benchmark.expert_value * 1000:.3f} us (default loop order, tuned splits)")
+
+    budget = benchmark.small_budget
+    print(f"\nautotuning with a 'small' budget of {budget} evaluations ...")
+
+    settings = BacoSettings(gp_prior_samples=10, n_random_samples=192)
+    baco_history = BacoTuner(benchmark.space, settings=settings, seed=0).tune(
+        benchmark.evaluator, budget, benchmark_name=benchmark.name
+    )
+    atf_history = OpenTunerLikeTuner(benchmark.space, seed=0).tune(
+        benchmark.evaluator, budget, benchmark_name=benchmark.name
+    )
+
+    print("\nresults (lower is better):")
+    for label, history in (("BaCO", baco_history), ("ATF/OpenTuner", atf_history)):
+        best = history.best()
+        relative = benchmark.expert_value / best.value
+        marker = "beats expert" if relative >= 1.0 else f"{relative:.2f}x of expert"
+        print(f"  {label:14s}: {best.value * 1000:9.3f} us   ({marker})")
+
+    best = baco_history.best()
+    print("\nBaCO's best schedule:")
+    for key, value in sorted(best.configuration.items()):
+        print(f"  {key:16s} = {value}")
+    default_order = tuple(range(len(best.configuration["permutation"])))
+    if tuple(best.configuration["permutation"]) != default_order:
+        print("\nnote: the best schedule uses a non-default loop order — the part of the")
+        print("space the original expert configurations never explored (paper RQ4).")
+
+    reached = baco_history.evaluations_to_reach(benchmark.expert_value)
+    if reached is not None:
+        print(f"\nBaCO matched expert-level performance after {reached} evaluations.")
+    else:
+        print("\nBaCO did not reach expert-level performance within this budget;")
+        print("try the full budget (benchmark.full_budget) or more repetitions.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,93 @@
+"""repro — a reproduction of BaCO, the Bayesian Compiler Optimization framework.
+
+BaCO (Hellsten et al., ASPLOS 2023) is a portable autotuner for compilers
+with scheduling languages.  This package re-implements the full system on
+numpy/scipy:
+
+* :mod:`repro.space` — mixed-type constrained search spaces (RIPOC +
+  permutations, known constraints, Chain-of-Trees),
+* :mod:`repro.models` — Gaussian processes over compiler domains and random
+  forests, written from scratch,
+* :mod:`repro.core` — the BaCO optimizer (feasibility-aware noiseless EI,
+  multi-start local search, hidden-constraint model),
+* :mod:`repro.baselines` — ATF/OpenTuner-like, Ytopt-like, and random
+  sampling baselines,
+* :mod:`repro.compilers` — simulated TACO, RISE & ELEVATE, and HPVM2FPGA
+  toolchains used as black boxes,
+* :mod:`repro.workloads` — the 25 benchmark instances of the evaluation,
+* :mod:`repro.experiments` — the harness reproducing every table and figure.
+
+Quickstart::
+
+    import numpy as np
+    from repro import (
+        BacoTuner, SearchSpace, OrdinalParameter, CategoricalParameter,
+        PermutationParameter, Constraint, ObjectiveResult,
+    )
+
+    space = SearchSpace(
+        [
+            OrdinalParameter("tile", [8, 16, 32, 64, 128], transform="log"),
+            CategoricalParameter("schedule", ["static", "dynamic"]),
+            PermutationParameter("loop_order", 3),
+        ],
+        [Constraint("tile >= 16")],
+    )
+
+    def compile_and_run(config) -> ObjectiveResult:
+        ...  # invoke your compiler toolchain here
+
+    history = BacoTuner(space, seed=0).tune(compile_and_run, budget=40)
+    print(history.best().configuration, history.best_value())
+"""
+
+from .baselines import (
+    CoTSamplingTuner,
+    OpenTunerLikeTuner,
+    UniformSamplingTuner,
+    YtoptLikeTuner,
+)
+from .core import (
+    BacoSettings,
+    BacoTuner,
+    Evaluation,
+    ObjectiveResult,
+    Tuner,
+    TuningHistory,
+)
+from .space import (
+    CategoricalParameter,
+    Constraint,
+    IntegerParameter,
+    OrdinalParameter,
+    PermutationParameter,
+    RealParameter,
+    SearchSpace,
+)
+from .workloads import Benchmark, benchmark_names, get_benchmark
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BacoSettings",
+    "BacoTuner",
+    "Benchmark",
+    "CategoricalParameter",
+    "Constraint",
+    "CoTSamplingTuner",
+    "Evaluation",
+    "IntegerParameter",
+    "ObjectiveResult",
+    "OpenTunerLikeTuner",
+    "OrdinalParameter",
+    "PermutationParameter",
+    "RealParameter",
+    "SearchSpace",
+    "Tuner",
+    "TuningHistory",
+    "UniformSamplingTuner",
+    "YtoptLikeTuner",
+    "benchmark_names",
+    "get_benchmark",
+    "__version__",
+]

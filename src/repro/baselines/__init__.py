@@ -1,0 +1,13 @@
+"""Baseline autotuners used in the paper's evaluation."""
+
+from .opentuner import AUCBandit, OpenTunerLikeTuner
+from .random_search import CoTSamplingTuner, UniformSamplingTuner
+from .ytopt import YtoptLikeTuner
+
+__all__ = [
+    "AUCBandit",
+    "CoTSamplingTuner",
+    "OpenTunerLikeTuner",
+    "UniformSamplingTuner",
+    "YtoptLikeTuner",
+]

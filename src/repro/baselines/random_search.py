@@ -1,0 +1,47 @@
+"""Random-sampling baselines.
+
+Two baselines from the evaluation (Sec. 5.1):
+
+* :class:`UniformSamplingTuner` — samples uniformly from the feasible region
+  (bias-free uniform-over-leaves sampling when a Chain-of-Trees exists).
+* :class:`CoTSamplingTuner` — samples by walking each Chain-of-Trees tree and
+  choosing a child uniformly at every level, which is the biased sampling
+  scheme of Rasch et al.; this baseline isolates the impact of the sampling
+  bias BaCO removes.
+"""
+
+from __future__ import annotations
+
+from ..core.tuner import Tuner
+from ..space.space import SearchSpace
+
+__all__ = ["UniformSamplingTuner", "CoTSamplingTuner"]
+
+
+class UniformSamplingTuner(Tuner):
+    """Uniform random sampling over the feasible region."""
+
+    name = "Uniform Sampling"
+    _biased_cot = False
+
+    def _run(self, budget: int) -> None:
+        seen: set[tuple] = set()
+        while self._remaining(budget) > 0:
+            config = None
+            for _ in range(32):
+                candidate = self.space.sample_one(self._rng, biased_cot=self._biased_cot)
+                key = self.space.freeze(candidate)
+                if key not in seen:
+                    seen.add(key)
+                    config = candidate
+                    break
+            if config is None:
+                config = self.space.sample_one(self._rng, biased_cot=self._biased_cot)
+            self._evaluate(config)
+
+
+class CoTSamplingTuner(UniformSamplingTuner):
+    """Biased per-level Chain-of-Trees sampling (ATF-style)."""
+
+    name = "CoT Sampling"
+    _biased_cot = True

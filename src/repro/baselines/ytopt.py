@@ -1,0 +1,162 @@
+"""Ytopt-like baseline: Bayesian optimization without BaCO's customizations.
+
+Ytopt (Wu et al.) wraps skopt's Bayesian optimization to tune compiler
+pragmas.  Compared with BaCO it
+
+* uses a Random-Forest surrogate by default (a GP without constraint support
+  is available and is what Fig. 8's "Ytopt (GP)" variant uses),
+* encodes all parameters numerically (permutations are treated as unordered
+  category indices — no permutation structure),
+* handles hidden constraints by adding infeasible points to the data set with
+  a large penalty objective value,
+* optimizes the acquisition over a random candidate batch (no local search),
+* applies no log transformations, lengthscale priors, or noiseless-EI
+  adjustments.
+
+Known constraints are respected when *sampling candidates* (rejection /
+Chain-of-Trees sampling through the shared :class:`SearchSpace`), mirroring
+the manual search-space pruning the paper performs for Ytopt.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+from scipy import stats
+
+from ..core.doe import initial_design
+from ..core.tuner import Tuner
+from ..models.gp import GaussianProcess
+from ..models.random_forest import RandomForestRegressor
+from ..space.parameters import PermutationParameter
+from ..space.space import Configuration, SearchSpace
+
+__all__ = ["YtoptLikeTuner"]
+
+#: factor applied to the worst feasible value to penalize infeasible points
+_PENALTY_FACTOR = 10.0
+
+
+class YtoptLikeTuner(Tuner):
+    """BO baseline with RF (default) or vanilla GP surrogate and penalty handling."""
+
+    name = "Ytopt"
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        seed: int | None = None,
+        surrogate: str = "rf",
+        n_initial: int | None = None,
+        n_candidates: int = 256,
+        rf_trees: int = 32,
+    ) -> None:
+        super().__init__(space, seed=seed)
+        if surrogate not in ("rf", "gp"):
+            raise ValueError("surrogate must be 'rf' or 'gp'")
+        self.surrogate = surrogate
+        self.n_initial = n_initial
+        self.n_candidates = n_candidates
+        self.rf_trees = rf_trees
+        if surrogate == "gp":
+            self.name = "Ytopt (GP)"
+        # a naive model space: permutations degraded to categorical distance
+        self._gp_parameters = self._naive_parameters(space)
+
+    @staticmethod
+    def _naive_parameters(space: SearchSpace):
+        parameters = []
+        for param in space.parameters:
+            if isinstance(param, PermutationParameter):
+                parameters.append(
+                    PermutationParameter(param.name, param.n_elements, metric="naive")
+                )
+            else:
+                parameters.append(param)
+        return parameters
+
+    # ------------------------------------------------------------------
+    def _run(self, budget: int) -> None:
+        n_initial = self.n_initial or max(3, min(budget // 5, 12))
+        for config in initial_design(self.space, min(n_initial, budget), self._rng):
+            if self._remaining(budget) <= 0:
+                return
+            self._evaluate(config, phase="initial")
+
+        while self._remaining(budget) > 0:
+            config = self._recommend()
+            self._evaluate(config)
+
+    # ------------------------------------------------------------------
+    def _training_data(self) -> tuple[list[Configuration], np.ndarray]:
+        """All evaluations; infeasible ones carry a large penalty value."""
+        evaluations = list(self.history)
+        feasible_values = [e.value for e in evaluations if e.feasible]
+        if feasible_values:
+            penalty = max(feasible_values) * _PENALTY_FACTOR
+        else:
+            penalty = 1e6
+        configs = [e.configuration for e in evaluations]
+        values = np.array([e.value if e.feasible else penalty for e in evaluations])
+        return configs, values
+
+    def _recommend(self) -> Configuration:
+        configs, values = self._training_data()
+        evaluated = {self.space.freeze(c) for c in configs}
+        if len(configs) < 2 or len(set(values.tolist())) < 2:
+            return self._random_unseen(evaluated)
+
+        candidates = self.space.sample(self._rng, self.n_candidates)
+        unique: dict[tuple, Configuration] = {}
+        for candidate in candidates:
+            key = self.space.freeze(candidate)
+            if key not in evaluated:
+                unique.setdefault(key, candidate)
+        if not unique:
+            return self._random_unseen(evaluated)
+        pool = list(unique.values())
+
+        try:
+            ei = self._expected_improvement(configs, values, pool)
+        except (ValueError, np.linalg.LinAlgError):
+            return self._random_unseen(evaluated)
+        return pool[int(np.argmax(ei))]
+
+    def _expected_improvement(
+        self,
+        configs: Sequence[Mapping[str, Any]],
+        values: np.ndarray,
+        pool: Sequence[Mapping[str, Any]],
+    ) -> np.ndarray:
+        best = float(np.min(values))
+        if self.surrogate == "rf":
+            features = self.space.encode_many(configs)
+            model = RandomForestRegressor(n_trees=self.rf_trees, rng=self._rng)
+            model.fit(features, values)
+            mean, variance = model.predict_with_uncertainty(self.space.encode_many(pool))
+        else:
+            model = GaussianProcess(
+                self._gp_parameters,
+                lengthscale_prior=None,
+                log_transform_output=False,
+                standardize_output=True,
+                n_prior_samples=8,
+                n_refined_starts=1,
+                advanced_fit=True,
+                rng=self._rng,
+            )
+            model.fit(configs, values)
+            best = float(model.to_model_scale(best))
+            mean, variance = model.predict(pool, include_noise=True)
+        std = np.sqrt(np.maximum(variance, 1e-18))
+        improvement = best - mean
+        z = improvement / std
+        return np.maximum(improvement * stats.norm.cdf(z) + std * stats.norm.pdf(z), 0.0)
+
+    def _random_unseen(self, evaluated: set[tuple]) -> Configuration:
+        for _ in range(32):
+            config = self.space.sample_one(self._rng)
+            if self.space.freeze(config) not in evaluated:
+                return config
+        return self.space.sample_one(self._rng)

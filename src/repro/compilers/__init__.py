@@ -1,0 +1,40 @@
+"""Simulated compiler toolchains (the black boxes being autotuned)."""
+
+from .hpvm2fpga import FPGA_BENCHMARKS, FpgaBenchmarkSpec, FpgaLoop, HpvmFpgaKernel
+from .machines import (
+    ARRIA_10,
+    CpuMachine,
+    FpgaMachine,
+    GpuMachine,
+    NVIDIA_K80,
+    XEON_E5_2650,
+    XEON_GOLD_6130,
+)
+from .rise import GPU_KERNEL_SPECS, GpuKernelSpec, RiseCpuKernel, RiseGpuKernel
+from .taco import TACO_EXPRESSIONS, TacoExpression, TacoKernel
+from .tensors import SparseTensor, TENSOR_REGISTRY, generate_tensor, get_tensor
+
+__all__ = [
+    "ARRIA_10",
+    "CpuMachine",
+    "FPGA_BENCHMARKS",
+    "FpgaBenchmarkSpec",
+    "FpgaLoop",
+    "FpgaMachine",
+    "GPU_KERNEL_SPECS",
+    "GpuKernelSpec",
+    "GpuMachine",
+    "HpvmFpgaKernel",
+    "NVIDIA_K80",
+    "RiseCpuKernel",
+    "RiseGpuKernel",
+    "SparseTensor",
+    "TACO_EXPRESSIONS",
+    "TENSOR_REGISTRY",
+    "TacoExpression",
+    "TacoKernel",
+    "XEON_E5_2650",
+    "XEON_GOLD_6130",
+    "generate_tensor",
+    "get_tensor",
+]

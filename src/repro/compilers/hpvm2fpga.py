@@ -1,0 +1,205 @@
+"""Simulated HPVM2FPGA: design-space exploration over FPGA compiler flags.
+
+HPVM2FPGA explores compiler transformations — loop unrolling, greedy loop
+fusion, argument privatization, kernel fusion — and reports an *estimated*
+execution time for an Intel Arria-10 target.  The parameter space is
+generated automatically from the program IR; most parameters are boolean
+flags, with hidden constraints among them (Table 2/3 of the paper: "I/C, H").
+
+The reproduction models each benchmark as a set of loops/kernels with
+per-loop trip counts and baseline latencies.  Flags interact:
+
+* unrolling a loop divides its latency but multiplies its resource usage,
+* fusing two kernels removes intermediate buffer traffic but only if both
+  are unrolled compatibly — otherwise the design fails placement (a hidden
+  constraint, since the toolchain only discovers it after synthesis),
+* argument privatization removes memory-port contention for the loops that
+  read the privatized argument but costs BRAM,
+* exceeding the device's LUT / BRAM / DSP budget makes the design
+  unsynthesizable (hidden constraint — the estimator rejects it).
+
+As in the paper, these benchmarks have no expert configuration; the default
+configuration applies no transformations.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from ..core.result import ObjectiveResult
+from .machines import ARRIA_10, FpgaMachine
+from .taco import _config_noise
+
+__all__ = ["FpgaLoop", "FpgaBenchmarkSpec", "HpvmFpgaKernel", "FPGA_BENCHMARKS"]
+
+
+@dataclass(frozen=True)
+class FpgaLoop:
+    """One unrollable loop of the accelerated program."""
+
+    name: str
+    base_latency_ms: float
+    trip_count: int
+    #: LUT / DSP / BRAM cost of one replicated loop body
+    luts: int
+    dsps: int
+    brams: int
+    #: fraction of the latency that is memory-bound (unrolling does not help it)
+    memory_fraction: float = 0.3
+
+
+@dataclass(frozen=True)
+class FpgaBenchmarkSpec:
+    """Static description of one HPVM2FPGA benchmark."""
+
+    name: str
+    loops: tuple[FpgaLoop, ...]
+    #: pairs of loop indices that may be fused by kernel fusion flags
+    fusable: tuple[tuple[int, int], ...]
+    #: latency saved (ms) by each successful fusion
+    fusion_saving_ms: float
+    #: privatizable arguments: (flag name, latency saving fraction, BRAM cost)
+    privatizable: tuple[tuple[str, float, int], ...]
+    base_overhead_ms: float = 0.5
+
+
+FPGA_BENCHMARKS: dict[str, FpgaBenchmarkSpec] = {
+    "bfs": FpgaBenchmarkSpec(
+        name="bfs",
+        loops=(
+            FpgaLoop("visit", 2.6, 1 << 16, luts=9_000, dsps=12, brams=40, memory_fraction=0.55),
+            FpgaLoop("frontier", 1.8, 1 << 14, luts=6_000, dsps=6, brams=24, memory_fraction=0.45),
+        ),
+        fusable=((0, 1),),
+        fusion_saving_ms=0.7,
+        privatizable=(("priv_levels", 0.18, 300),),
+        base_overhead_ms=0.4,
+    ),
+    "audio": FpgaBenchmarkSpec(
+        name="audio",
+        loops=(
+            FpgaLoop("fir_left", 1.1, 4096, luts=14_000, dsps=96, brams=60, memory_fraction=0.2),
+            FpgaLoop("fir_right", 1.1, 4096, luts=14_000, dsps=96, brams=60, memory_fraction=0.2),
+            FpgaLoop("rotate", 0.8, 2048, luts=8_000, dsps=48, brams=30, memory_fraction=0.25),
+            FpgaLoop("fft", 0.9, 2048, luts=12_000, dsps=64, brams=44, memory_fraction=0.3),
+            FpgaLoop("ifft", 0.9, 2048, luts=12_000, dsps=64, brams=44, memory_fraction=0.3),
+            FpgaLoop("delay", 0.4, 1024, luts=3_500, dsps=8, brams=20, memory_fraction=0.5),
+            FpgaLoop("mix", 0.6, 1024, luts=5_000, dsps=24, brams=16, memory_fraction=0.35),
+            FpgaLoop("normalize", 0.5, 1024, luts=4_000, dsps=16, brams=12, memory_fraction=0.4),
+        ),
+        fusable=((0, 1), (3, 4), (5, 6), (6, 7)),
+        fusion_saving_ms=0.35,
+        privatizable=(
+            ("priv_coeffs", 0.12, 400),
+            ("priv_hrtf", 0.1, 500),
+            ("priv_window", 0.06, 250),
+        ),
+        base_overhead_ms=0.8,
+    ),
+    "preeuler": FpgaBenchmarkSpec(
+        name="preeuler",
+        loops=(
+            FpgaLoop("flux", 4.2, 1 << 15, luts=22_000, dsps=160, brams=90, memory_fraction=0.3),
+            FpgaLoop("update", 3.1, 1 << 15, luts=16_000, dsps=110, brams=70, memory_fraction=0.4),
+            FpgaLoop("timestep", 1.4, 1 << 13, luts=9_000, dsps=40, brams=30, memory_fraction=0.5),
+            FpgaLoop("boundary", 0.9, 1 << 12, luts=6_000, dsps=20, brams=18, memory_fraction=0.55),
+        ),
+        fusable=((0, 1), (2, 3)),
+        fusion_saving_ms=1.1,
+        privatizable=(("priv_fluxes", 0.15, 600),),
+        base_overhead_ms=1.0,
+    ),
+}
+
+
+class HpvmFpgaKernel:
+    """Black-box evaluator: flag configuration -> estimated FPGA execution time."""
+
+    def __init__(
+        self,
+        benchmark: str,
+        machine: FpgaMachine = ARRIA_10,
+        noise: float = 0.02,
+        seed: int = 0,
+    ) -> None:
+        if benchmark not in FPGA_BENCHMARKS:
+            raise KeyError(
+                f"unknown HPVM2FPGA benchmark {benchmark!r}; available: {sorted(FPGA_BENCHMARKS)}"
+            )
+        self.spec = FPGA_BENCHMARKS[benchmark]
+        self.machine = machine
+        self.noise = noise
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def _unroll_factor(self, configuration: Mapping[str, Any], index: int) -> int:
+        return int(configuration.get(f"unroll_{self.spec.loops[index].name}", 1))
+
+    def _fusion_enabled(self, configuration: Mapping[str, Any], pair_index: int) -> bool:
+        return int(configuration.get(f"fuse_{pair_index}", 0)) == 1
+
+    def resource_usage(self, configuration: Mapping[str, Any]) -> dict[str, float]:
+        """Total LUT / DSP / BRAM usage of the requested design."""
+        luts = 40_000.0  # static shell / interconnect
+        dsps = 32.0
+        brams = 120.0
+        for index, loop in enumerate(self.spec.loops):
+            unroll = max(1, self._unroll_factor(configuration, index))
+            luts += loop.luts * unroll
+            dsps += loop.dsps * unroll
+            brams += loop.brams * (1.0 + 0.35 * (unroll - 1))
+        for flag, _saving, bram_cost in self.spec.privatizable:
+            if int(configuration.get(flag, 0)) == 1:
+                brams += bram_cost
+        for pair_index, _pair in enumerate(self.spec.fusable):
+            if self._fusion_enabled(configuration, pair_index):
+                luts += 3_000.0
+        return {"luts": luts, "dsps": dsps, "brams": brams}
+
+    def _hidden_violation(self, configuration: Mapping[str, Any]) -> bool:
+        usage = self.resource_usage(configuration)
+        if usage["luts"] > self.machine.luts or usage["dsps"] > self.machine.dsps:
+            return True
+        if usage["brams"] > self.machine.brams:
+            return True
+        # incompatible fusion: fusing loops whose unroll factors differ by more
+        # than 4x fails scheduling inside the HLS backend.
+        for pair_index, (a, b) in enumerate(self.spec.fusable):
+            if self._fusion_enabled(configuration, pair_index):
+                ua = max(1, self._unroll_factor(configuration, a))
+                ub = max(1, self._unroll_factor(configuration, b))
+                if max(ua, ub) / min(ua, ub) > 4:
+                    return True
+        return False
+
+    # ------------------------------------------------------------------
+    def evaluate(self, configuration: Mapping[str, Any]) -> ObjectiveResult:
+        """Estimated execution time in milliseconds of the generated design."""
+        if self._hidden_violation(configuration):
+            return ObjectiveResult(value=math.inf, feasible=False)
+
+        total = self.spec.base_overhead_ms
+        privatized_saving = 0.0
+        for flag, saving, _bram in self.spec.privatizable:
+            if int(configuration.get(flag, 0)) == 1:
+                privatized_saving += saving
+
+        for index, loop in enumerate(self.spec.loops):
+            unroll = max(1, self._unroll_factor(configuration, index))
+            compute = loop.base_latency_ms * (1.0 - loop.memory_fraction) / unroll
+            memory = loop.base_latency_ms * loop.memory_fraction
+            memory *= max(0.5, 1.0 - privatized_saving)
+            # deeper unrolling lowers the achievable clock slightly
+            clock_penalty = 1.0 + 0.03 * math.log2(unroll)
+            total += (compute + memory) * clock_penalty
+
+        for pair_index, _pair in enumerate(self.spec.fusable):
+            if self._fusion_enabled(configuration, pair_index):
+                total -= self.spec.fusion_saving_ms
+        total = max(total, 0.05)
+        total *= _config_noise(configuration, self.seed, self.noise)
+        return ObjectiveResult(value=float(total), feasible=True)
+
+    __call__ = evaluate

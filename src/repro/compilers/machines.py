@@ -1,0 +1,91 @@
+"""Simple machine models used by the simulated compiler toolchains.
+
+These stand in for the hardware of the paper's evaluation (dual Xeon Gold
+6130 for TACO, Xeon E5-2650 v3 + NVIDIA K80 for RISE & ELEVATE, Intel
+Arria-10 GX for HPVM2FPGA).  Only coarse characteristics matter for the cost
+models: peak throughput, cache / memory sizes, core / compute-unit counts and
+resource budgets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CpuMachine", "GpuMachine", "FpgaMachine", "XEON_GOLD_6130", "XEON_E5_2650", "NVIDIA_K80", "ARRIA_10"]
+
+
+@dataclass(frozen=True)
+class CpuMachine:
+    """A multicore CPU node."""
+
+    name: str
+    n_cores: int
+    peak_gflops: float
+    #: last-level cache per socket in MiB
+    llc_mib: float
+    #: per-core private cache in KiB
+    l2_kib: float
+    #: sustainable memory bandwidth in GiB/s
+    mem_bandwidth_gib: float
+
+
+@dataclass(frozen=True)
+class GpuMachine:
+    """A CUDA/OpenCL-style GPU."""
+
+    name: str
+    n_compute_units: int
+    max_work_group_size: int
+    shared_memory_kib: float
+    registers_per_cu: int
+    peak_gflops: float
+    mem_bandwidth_gib: float
+    warp_size: int = 32
+
+
+@dataclass(frozen=True)
+class FpgaMachine:
+    """An FPGA device with finite logic / memory / DSP resources."""
+
+    name: str
+    luts: int
+    brams: int
+    dsps: int
+    clock_mhz: float
+
+
+XEON_GOLD_6130 = CpuMachine(
+    name="2x Intel Xeon Gold 6130",
+    n_cores=32,
+    peak_gflops=2150.0,
+    llc_mib=22.0,
+    l2_kib=1024.0,
+    mem_bandwidth_gib=119.0,
+)
+
+XEON_E5_2650 = CpuMachine(
+    name="Intel Xeon E5-2650 v3 (8 cores used)",
+    n_cores=8,
+    peak_gflops=290.0,
+    llc_mib=25.0,
+    l2_kib=256.0,
+    mem_bandwidth_gib=68.0,
+)
+
+NVIDIA_K80 = GpuMachine(
+    name="NVIDIA K80 (one GK210)",
+    n_compute_units=13,
+    max_work_group_size=1024,
+    shared_memory_kib=48.0,
+    registers_per_cu=65_536,
+    peak_gflops=2910.0,
+    mem_bandwidth_gib=240.0,
+)
+
+ARRIA_10 = FpgaMachine(
+    name="Intel Arria 10 GX 1150",
+    luts=427_200,
+    brams=2_713,
+    dsps=1_518,
+    clock_mhz=240.0,
+)

@@ -1,0 +1,323 @@
+"""Simulated RISE & ELEVATE: cost models for rewritten CPU / GPU kernels.
+
+RISE expresses computations with data-parallel patterns and ELEVATE applies
+rewrite strategies (tiling, vectorization, work-group mapping, coalescing).
+The autotuner picks the numerical parameters of those rewrites (tile sizes,
+local/work-group sizes, vector widths, sequential work per thread) subject to
+
+* **known constraints** collected by the compiler, mostly divisibility
+  relations between tile sizes, work-group sizes and problem sizes, and the
+  device limit on work-group size, and
+* **hidden constraints** discovered at run time, mostly exceeding the GPU's
+  shared-memory or register budgets, in which case the generated kernel fails
+  to execute.
+
+Two cost models are provided:
+
+* :class:`RiseGpuKernel` — a roofline + occupancy model of an OpenCL kernel
+  on a K80-class GPU.  It covers the dense linear algebra (MM, Asum, Scal,
+  K-means), stencil, and image-processing (Harris) benchmarks through a small
+  per-benchmark parameter-role specification.
+* :class:`RiseCpuKernel` — a cache-blocking + vectorization model of the
+  MM_CPU benchmark, which also exposes a loop-permutation parameter.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..core.result import ObjectiveResult
+from .machines import CpuMachine, GpuMachine, NVIDIA_K80, XEON_E5_2650
+from .taco import _config_noise
+
+__all__ = ["GpuKernelSpec", "RiseGpuKernel", "RiseCpuKernel", "GPU_KERNEL_SPECS"]
+
+
+@dataclass(frozen=True)
+class GpuKernelSpec:
+    """Static description of one RISE GPU benchmark.
+
+    ``roles`` maps parameter names (as used in the search space) to semantic
+    roles understood by the cost model:
+
+    * ``"local0"`` / ``"local1"`` — work-group dimensions,
+    * ``"tile0"`` / ``"tile1"`` / ``"tile_k"`` — tile sizes staged in shared memory,
+    * ``"vector"`` — vector width of loads/stores,
+    * ``"seq"`` — sequential work items per thread,
+    * ``"split"`` — reduction split factor (tree reduction width).
+    """
+
+    name: str
+    #: problem sizes (rows, cols, depth) — depth 1 for 1-D / 2-D kernels
+    problem: tuple[int, int, int]
+    flops_per_element: float
+    bytes_per_element: float
+    roles: dict[str, str]
+    #: multiplicative weight of shared-memory staging traffic saved by tiling
+    reuse_weight: float = 1.0
+    #: whether exceeding shared memory / registers is possible (hidden constraints)
+    has_hidden_constraint: bool = True
+    #: launch overhead in milliseconds
+    launch_overhead_ms: float = 0.02
+
+
+def _mm_roles() -> dict[str, str]:
+    return {
+        "ls0": "local0",
+        "ls1": "local1",
+        "ts0": "tile0",
+        "ts1": "tile1",
+        "tk": "tile_k",
+        "vw": "vector",
+        "sq0": "seq",
+        "sq1": "seq2",
+        "split": "split",
+        "swizzle": "swizzle",
+    }
+
+
+GPU_KERNEL_SPECS: dict[str, GpuKernelSpec] = {
+    "mm_gpu": GpuKernelSpec(
+        name="mm_gpu",
+        problem=(1024, 1024, 1024),
+        flops_per_element=2.0 * 1024,
+        bytes_per_element=8.0,
+        roles=_mm_roles(),
+        reuse_weight=2.2,
+    ),
+    "asum_gpu": GpuKernelSpec(
+        name="asum_gpu",
+        problem=(1 << 22, 1, 1),
+        flops_per_element=1.0,
+        bytes_per_element=4.0,
+        roles={"ls0": "local0", "split": "split", "sq0": "seq", "vw": "vector", "gs0": "tile0"},
+        reuse_weight=0.2,
+        has_hidden_constraint=False,
+    ),
+    "scal_gpu": GpuKernelSpec(
+        name="scal_gpu",
+        problem=(1 << 23, 1, 1),
+        flops_per_element=1.0,
+        bytes_per_element=8.0,
+        roles={
+            "ls0": "local0",
+            "ls1": "local1",
+            "gs0": "tile0",
+            "gs1": "tile1",
+            "sq0": "seq",
+            "sq1": "seq2",
+            "vw": "vector",
+        },
+        reuse_weight=0.2,
+    ),
+    "kmeans_gpu": GpuKernelSpec(
+        name="kmeans_gpu",
+        problem=(200_000, 34, 5),
+        flops_per_element=3.0 * 34,
+        bytes_per_element=4.0 * 34,
+        roles={"ls0": "local0", "ls1": "local1", "sq0": "seq", "vw": "vector"},
+        reuse_weight=0.8,
+    ),
+    "harris_gpu": GpuKernelSpec(
+        name="harris_gpu",
+        problem=(1536, 2560, 1),
+        flops_per_element=40.0,
+        bytes_per_element=12.0,
+        roles={
+            "ls0": "local0",
+            "ls1": "local1",
+            "ts0": "tile0",
+            "ts1": "tile1",
+            "vw": "vector",
+            "sq0": "seq",
+            "split": "split",
+        },
+        reuse_weight=1.6,
+        has_hidden_constraint=False,
+    ),
+    "stencil_gpu": GpuKernelSpec(
+        name="stencil_gpu",
+        problem=(4096, 4096, 1),
+        flops_per_element=9.0,
+        bytes_per_element=8.0,
+        roles={"ls0": "local0", "ls1": "local1", "ts0": "tile0", "ts1": "tile1"},
+        reuse_weight=1.4,
+        has_hidden_constraint=False,
+    ),
+}
+
+
+class RiseGpuKernel:
+    """Black-box evaluator for a RISE-generated OpenCL kernel on a GPU."""
+
+    def __init__(
+        self,
+        benchmark: str,
+        machine: GpuMachine = NVIDIA_K80,
+        noise: float = 0.04,
+        seed: int = 0,
+    ) -> None:
+        if benchmark not in GPU_KERNEL_SPECS:
+            raise KeyError(
+                f"unknown RISE GPU benchmark {benchmark!r}; available: {sorted(GPU_KERNEL_SPECS)}"
+            )
+        self.spec = GPU_KERNEL_SPECS[benchmark]
+        self.machine = machine
+        self.noise = noise
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def _value(self, configuration: Mapping[str, Any], role: str, default: float) -> float:
+        for name, param_role in self.spec.roles.items():
+            if param_role == role and name in configuration:
+                return float(configuration[name])
+        return default
+
+    # ------------------------------------------------------------------
+    def shared_memory_bytes(self, configuration: Mapping[str, Any]) -> float:
+        """Shared-memory bytes staged per work group (tiles of the inputs)."""
+        tile0 = self._value(configuration, "tile0", 32)
+        tile1 = self._value(configuration, "tile1", 32)
+        tile_k = self._value(configuration, "tile_k", 1)
+        return (tile0 * max(tile_k, 1) + tile1 * max(tile_k, 1)) * 4.0
+
+    def registers_per_thread(self, configuration: Mapping[str, Any]) -> float:
+        """Rough register-pressure estimate from per-thread work and vector width."""
+        vector = self._value(configuration, "vector", 1)
+        seq = self._value(configuration, "seq", 1) * self._value(configuration, "seq2", 1)
+        return 24.0 + 4.0 * vector + 2.0 * seq
+
+    def _hidden_violation(self, configuration: Mapping[str, Any]) -> bool:
+        if not self.spec.has_hidden_constraint:
+            return False
+        if self.shared_memory_bytes(configuration) > self.machine.shared_memory_kib * 1024.0:
+            return True
+        local = self._value(configuration, "local0", 32) * self._value(configuration, "local1", 1)
+        total_registers = self.registers_per_thread(configuration) * local
+        return total_registers > self.machine.registers_per_cu
+
+    # ------------------------------------------------------------------
+    def evaluate(self, configuration: Mapping[str, Any]) -> ObjectiveResult:
+        """Estimated kernel runtime in milliseconds."""
+        if self._hidden_violation(configuration):
+            return ObjectiveResult(value=math.inf, feasible=False)
+
+        rows, cols, _depth = self.spec.problem
+        elements = rows * cols
+        local0 = self._value(configuration, "local0", 32)
+        local1 = self._value(configuration, "local1", 1)
+        vector = self._value(configuration, "vector", 1)
+        tile0 = self._value(configuration, "tile0", local0)
+        tile1 = self._value(configuration, "tile1", local1)
+        tile_k = self._value(configuration, "tile_k", 1)
+        seq = self._value(configuration, "seq", 1) * self._value(configuration, "seq2", 1)
+        split = self._value(configuration, "split", 1)
+
+        work_group = local0 * local1
+        # occupancy: work groups per compute unit limited by threads and shared memory
+        shared = max(self.shared_memory_bytes(configuration), 1.0)
+        wg_by_shared = (self.machine.shared_memory_kib * 1024.0) / shared
+        wg_by_threads = 2048.0 / max(work_group, 1.0)
+        resident = min(8.0, wg_by_shared, wg_by_threads)
+        occupancy = min(1.0, resident * work_group / 2048.0)
+        # very small work groups waste warp lanes
+        warp_efficiency = min(1.0, work_group / self.machine.warp_size)
+
+        flops = elements * self.spec.flops_per_element
+        compute_ms = flops / (self.machine.peak_gflops * 1e6) / max(occupancy, 0.05)
+
+        # memory traffic: tiling reuses data staged in shared memory,
+        # vectorized and coalesced accesses approach peak bandwidth.
+        reuse = 1.0 + self.spec.reuse_weight * math.log2(max(min(tile0, tile1) * max(tile_k, 1), 1.0))
+        coalescing = min(1.0, (local0 * vector) / 32.0)
+        coalescing = max(coalescing, 0.1)
+        vector_boost = 1.0 + 0.15 * math.log2(max(vector, 1.0))
+        traffic = elements * self.spec.bytes_per_element / max(reuse, 1.0)
+        bandwidth = self.machine.mem_bandwidth_gib * 1024**3 * coalescing * vector_boost
+        memory_ms = traffic / bandwidth * 1e3
+
+        # reductions: too little sequential work -> tree overhead; too much -> serialization
+        seq_penalty = 0.06 * abs(math.log2(max(seq, 1.0)) - 3.0)
+        split_penalty = 0.04 * abs(math.log2(max(split, 1.0)) - 5.0) if "split" in self.spec.roles.values() else 0.0
+        imbalance = 0.15 if (rows % max(tile0, 1) != 0 or cols % max(tile1, 1) != 0) else 0.0
+
+        runtime = max(compute_ms, memory_ms) / max(warp_efficiency, 0.05)
+        runtime *= 1.0 + seq_penalty + split_penalty + imbalance
+        runtime += self.spec.launch_overhead_ms
+        runtime *= _config_noise(configuration, self.seed, self.noise)
+        return ObjectiveResult(value=float(runtime), feasible=True)
+
+    __call__ = evaluate
+
+
+class RiseCpuKernel:
+    """Cache-blocked, vectorized matrix multiplication on a CPU (MM_CPU).
+
+    Parameters: tile sizes ``ts0``/``ts1``/``tk`` (ordinal, power of two),
+    vector width ``vw``, and the loop-order ``permutation`` of the three
+    blocked loops.  Known constraints require tiles to divide the problem
+    size; the hidden constraint models the compiler's vectorizer rejecting
+    innermost loops that are too short for the chosen vector width.
+    """
+
+    def __init__(
+        self,
+        problem: tuple[int, int, int] = (1024, 1024, 1024),
+        machine: CpuMachine = XEON_E5_2650,
+        noise: float = 0.03,
+        seed: int = 0,
+    ) -> None:
+        self.problem = problem
+        self.machine = machine
+        self.noise = noise
+        self.seed = seed
+
+    best_loop_order = (1, 0, 2)
+
+    def evaluate(self, configuration: Mapping[str, Any]) -> ObjectiveResult:
+        n, m, k = self.problem
+        ts0 = float(configuration.get("ts0", 32))
+        ts1 = float(configuration.get("ts1", 32))
+        tk = float(configuration.get("tk", 32))
+        vw = float(configuration.get("vw", 4))
+
+        # hidden constraint: innermost tile shorter than the vector width makes
+        # the vectorizer bail out and code generation fail.
+        if ts1 < vw:
+            return ObjectiveResult(value=math.inf, feasible=False)
+
+        flops = 2.0 * n * m * k
+        compute_ms = flops / (self.machine.peak_gflops * 1e6)
+        vector_eff = min(1.0, 0.55 + 0.15 * math.log2(max(vw, 1.0)))
+
+        # cache blocking: the working set of a tile should fit in L2
+        tile_bytes = (ts0 * tk + tk * ts1 + ts0 * ts1) * 8.0
+        l2_bytes = self.machine.l2_kib * 1024.0
+        if tile_bytes <= l2_bytes:
+            cache_penalty = 0.12 * abs(math.log2(max(tile_bytes, 1.0)) - math.log2(l2_bytes * 0.5))
+        else:
+            cache_penalty = 0.9 * math.log2(tile_bytes / l2_bytes + 1.0)
+
+        perm = configuration.get("permutation")
+        if perm is None:
+            order_penalty = 0.1
+        else:
+            perm = tuple(int(v) for v in perm)
+            weights = (0.5, 0.3, 0.15)
+            order_penalty = 0.15 * sum(
+                w * abs(p - b) for w, p, b in zip(weights, perm, self.best_loop_order)
+            )
+            if perm[-1] == 2:  # reduction loop innermost prevents register blocking
+                order_penalty += 0.25
+
+        runtime = compute_ms / (self.machine.n_cores * vector_eff)
+        runtime *= 1.0 + cache_penalty + order_penalty
+        runtime *= _config_noise(configuration, self.seed, self.noise)
+        return ObjectiveResult(value=float(runtime), feasible=True)
+
+    __call__ = evaluate

@@ -1,0 +1,150 @@
+"""Synthetic sparse tensors standing in for SuiteSparse / FROSTT datasets.
+
+The paper's TACO evaluation (Table 4) uses real sparse matrices and tensors
+(SuiteSparse, the Facebook Activities graph, FROSTT tensors and synthetic
+uniform tensors).  Those datasets are not available offline, so this module
+generates *synthetic* tensors with the same shapes and nonzero counts and a
+controllable nonzero structure (uniform vs. power-law row distributions).
+
+Only the summary statistics of the sparsity pattern matter for the analytic
+TACO cost model (rows, columns, nnz, average nonzeros per row, row imbalance,
+density), so the generator materializes per-row nonzero counts rather than
+explicit coordinates — this keeps tensor creation fast while still giving the
+different datasets genuinely different tuning landscapes (e.g. a social
+network graph rewards dynamic scheduling much more than a uniform random
+matrix does).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+import numpy as np
+
+__all__ = ["SparseTensor", "generate_tensor", "TENSOR_REGISTRY", "get_tensor"]
+
+
+@dataclass(frozen=True)
+class SparseTensor:
+    """Summary description of a sparse tensor used by the TACO cost model."""
+
+    name: str
+    shape: tuple[int, ...]
+    nnz: int
+    #: coefficient of variation of nonzeros per row (0 = perfectly balanced)
+    row_imbalance: float
+    #: fraction of nonzeros concentrated in the densest 1% of rows
+    skew: float
+    #: data source tag mirroring Table 4 ("SS", "FB", "FT", "Rand")
+    source: str = "Rand"
+
+    @property
+    def n_modes(self) -> int:
+        return len(self.shape)
+
+    @property
+    def n_rows(self) -> int:
+        return self.shape[0]
+
+    @property
+    def n_cols(self) -> int:
+        return self.shape[1] if len(self.shape) > 1 else 1
+
+    @property
+    def density(self) -> float:
+        total = 1.0
+        for dim in self.shape:
+            total *= dim
+        return self.nnz / total
+
+    @property
+    def nnz_per_row(self) -> float:
+        return self.nnz / self.n_rows
+
+    def working_set_bytes(self, value_bytes: int = 8, index_bytes: int = 4) -> float:
+        """Approximate memory footprint of the compressed tensor."""
+        return self.nnz * (value_bytes + index_bytes * (self.n_modes - 1)) + self.n_rows * index_bytes
+
+
+def generate_tensor(
+    name: str,
+    shape: tuple[int, ...],
+    nnz: int,
+    distribution: str = "uniform",
+    source: str = "Rand",
+    seed: int = 0,
+) -> SparseTensor:
+    """Create a synthetic tensor with the requested shape / nnz / structure.
+
+    ``distribution`` selects the per-row nonzero distribution:
+
+    * ``"uniform"`` — balanced rows (synthetic random tensors),
+    * ``"powerlaw"`` — heavy-tailed rows (social networks, circuits),
+    * ``"banded"`` — moderately structured rows (PDE / fluid-dynamics meshes).
+    """
+    if nnz <= 0:
+        raise ValueError("nnz must be positive")
+    if any(dim <= 0 for dim in shape):
+        raise ValueError("all tensor dimensions must be positive")
+    rng = np.random.default_rng(seed ^ (hash(name) & 0xFFFF))
+    n_rows = shape[0]
+    mean_per_row = nnz / n_rows
+    if distribution == "uniform":
+        counts = rng.poisson(mean_per_row, size=min(n_rows, 100_000)).astype(float) + 1e-9
+    elif distribution == "powerlaw":
+        raw = rng.pareto(1.6, size=min(n_rows, 100_000)) + 1.0
+        counts = raw / raw.mean() * mean_per_row
+    elif distribution == "banded":
+        base = rng.poisson(mean_per_row, size=min(n_rows, 100_000)).astype(float)
+        ramp = 1.0 + 0.5 * np.sin(np.linspace(0, 8 * math.pi, len(base)))
+        counts = base * ramp + 1e-9
+    else:
+        raise ValueError(f"unknown distribution {distribution!r}")
+    counts = np.maximum(counts, 1e-9)
+    imbalance = float(np.std(counts) / np.mean(counts))
+    sorted_counts = np.sort(counts)[::-1]
+    top = max(1, len(counts) // 100)
+    skew = float(sorted_counts[:top].sum() / counts.sum())
+    return SparseTensor(
+        name=name,
+        shape=tuple(int(d) for d in shape),
+        nnz=int(nnz),
+        row_imbalance=imbalance,
+        skew=skew,
+        source=source,
+    )
+
+
+#: (shape, nnz, distribution, source) for every dataset of Table 4 plus
+#: amazon0312 (used by Fig. 8/9).
+_TENSOR_SPECS: dict[str, tuple[tuple[int, ...], int, str, str]] = {
+    "ACTIVSg10K": ((20_000, 20_000), 135_888, "banded", "SS"),
+    "email-Enron": ((36_692, 36_692), 367_662, "powerlaw", "SS"),
+    "Goodwin_040": ((17_922, 17_922), 561_677, "banded", "SS"),
+    "scircuit": ((170_998, 170_998), 958_936, "powerlaw", "SS"),
+    "filter3D": ((106_437, 106_437), 2_707_179, "banded", "SS"),
+    "laminar_duct3D": ((67_173, 67_173), 3_788_857, "banded", "SS"),
+    "cage12": ((130_228, 130_228), 2_032_536, "uniform", "SS"),
+    "smt": ((25_710, 25_710), 3_749_582, "banded", "SS"),
+    "amazon0312": ((400_727, 400_727), 3_200_440, "powerlaw", "SS"),
+    "random2": ((10_000, 10_000), 5_000_000, "uniform", "Rand"),
+    "random1": ((1_000, 500, 100), 5_000_000, "uniform", "Rand"),
+    "facebook": ((1_504, 42_390, 39_986), 737_934, "powerlaw", "FB"),
+    "uber": ((183, 24, 1_140, 1_717), 3_309_490, "uniform", "FT"),
+    "nips": ((2_482, 2_482, 14_036, 17), 3_101_609, "powerlaw", "FT"),
+    "chicago": ((6_186, 24, 77, 32), 5_330_673, "uniform", "FT"),
+    "uber3": ((183, 1_140, 1_717), 1_117_629, "uniform", "FT"),
+}
+
+TENSOR_REGISTRY = sorted(_TENSOR_SPECS)
+
+
+@lru_cache(maxsize=None)
+def get_tensor(name: str) -> SparseTensor:
+    """Look up (and lazily generate) one of the Table 4 tensors by name."""
+    if name not in _TENSOR_SPECS:
+        raise KeyError(f"unknown tensor {name!r}; available: {TENSOR_REGISTRY}")
+    shape, nnz, distribution, source = _TENSOR_SPECS[name]
+    return generate_tensor(name, shape, nnz, distribution=distribution, source=source)

@@ -1,0 +1,29 @@
+"""The BaCO optimizer: acquisition, feasibility model, local search, main loop."""
+
+from .acquisition import AcquisitionFunction, expected_improvement, lower_confidence_bound
+from .baco import BacoSettings, BacoTuner
+from .doe import default_doe_size, initial_design
+from .feasibility import FeasibilityModel, FeasibilityThresholdSchedule
+from .local_search import LocalSearchSettings, multistart_local_search, random_candidates
+from .result import Evaluation, ObjectiveFunction, ObjectiveResult, TuningHistory
+from .tuner import Tuner
+
+__all__ = [
+    "AcquisitionFunction",
+    "BacoSettings",
+    "BacoTuner",
+    "Evaluation",
+    "FeasibilityModel",
+    "FeasibilityThresholdSchedule",
+    "LocalSearchSettings",
+    "ObjectiveFunction",
+    "ObjectiveResult",
+    "Tuner",
+    "TuningHistory",
+    "default_doe_size",
+    "expected_improvement",
+    "initial_design",
+    "lower_confidence_bound",
+    "multistart_local_search",
+    "random_candidates",
+]

@@ -1,0 +1,115 @@
+"""Acquisition functions.
+
+BaCO uses Expected Improvement (EI) with two modifications (Sec. 3.3 and 4.2):
+
+* the improvement is computed against the *noise-free* GP prediction
+  (``include_noise=False``), which stops EI from repeatedly re-sampling
+  already-good points when evaluations are noisy;
+* the EI is multiplied by the probability of feasibility predicted by the
+  hidden-constraint model, and configurations whose predicted feasibility is
+  below a (randomly re-sampled) threshold ε_f are excluded.
+
+All functions operate on the GP's *model scale* (log-transformed and
+standardized objective), in minimization form.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+from scipy import stats
+
+from ..models.gp import GaussianProcess
+
+__all__ = [
+    "expected_improvement",
+    "lower_confidence_bound",
+    "AcquisitionFunction",
+]
+
+
+def expected_improvement(
+    mean: np.ndarray, variance: np.ndarray, best_value: float, xi: float = 0.0
+) -> np.ndarray:
+    """EI for minimization: ``E[max(best - Y, 0)]`` under ``Y ~ N(mean, variance)``."""
+    std = np.sqrt(np.maximum(variance, 1e-18))
+    improvement = best_value - mean - xi
+    z = improvement / std
+    ei = improvement * stats.norm.cdf(z) + std * stats.norm.pdf(z)
+    return np.maximum(ei, 0.0)
+
+
+def lower_confidence_bound(
+    mean: np.ndarray, variance: np.ndarray, beta: float = 2.0
+) -> np.ndarray:
+    """Negated LCB so that *larger is better*, like EI (for minimization)."""
+    return -(mean - beta * np.sqrt(np.maximum(variance, 1e-18)))
+
+
+class AcquisitionFunction:
+    """Feasibility-weighted (noiseless) EI over configurations.
+
+    Parameters
+    ----------
+    model:
+        A fitted :class:`~repro.models.gp.GaussianProcess` (or any object with
+        a compatible ``predict`` / ``to_model_scale`` interface).
+    best_value:
+        Best *raw* feasible objective value observed so far.
+    feasibility_model:
+        Optional model with ``predict_probability(configs) -> array``; when
+        given, the EI of each configuration is multiplied by its probability
+        of feasibility and configurations below ``feasibility_threshold`` are
+        assigned an acquisition value of ``-inf``.
+    noiseless:
+        Use the noise-free predictive variance (BaCO's modified EI).
+    kind:
+        ``"ei"`` (default) or ``"lcb"``.
+    """
+
+    def __init__(
+        self,
+        model: GaussianProcess,
+        best_value: float,
+        feasibility_model: Any | None = None,
+        feasibility_threshold: float = 0.0,
+        noiseless: bool = True,
+        kind: str = "ei",
+        lcb_beta: float = 2.0,
+    ) -> None:
+        if kind not in ("ei", "lcb"):
+            raise ValueError(f"unknown acquisition kind {kind!r}")
+        if not math.isfinite(best_value):
+            raise ValueError("best_value must be finite to compute EI")
+        self.model = model
+        self.best_value = best_value
+        self._best_model_scale = float(model.to_model_scale(best_value))
+        self.feasibility_model = feasibility_model
+        self.feasibility_threshold = feasibility_threshold
+        self.noiseless = noiseless
+        self.kind = kind
+        self.lcb_beta = lcb_beta
+
+    def __call__(self, configurations: Sequence[Mapping[str, Any]]) -> np.ndarray:
+        """Acquisition values (larger is better) for a batch of configurations."""
+        if not configurations:
+            return np.empty(0)
+        mean, variance = self.model.predict(
+            configurations, include_noise=not self.noiseless
+        )
+        if self.kind == "ei":
+            values = expected_improvement(mean, variance, self._best_model_scale)
+        else:
+            values = lower_confidence_bound(mean, variance, self.lcb_beta)
+        if self.feasibility_model is not None and self.feasibility_model.is_trained:
+            probability = self.feasibility_model.predict_probability(configurations)
+            values = values * probability
+            values = np.where(
+                probability >= self.feasibility_threshold, values, -np.inf
+            )
+        return values
+
+    def single(self, configuration: Mapping[str, Any]) -> float:
+        return float(self([configuration])[0])

@@ -1,0 +1,262 @@
+"""The BaCO autotuner: the paper's core contribution.
+
+BaCO is a configuration recommendation–evaluation loop (Fig. 2):
+
+1. **Initial phase** — a small design of experiments is sampled uniformly at
+   random from the feasible region (through the Chain-of-Trees when known
+   constraints are present) and evaluated.
+2. **Learning phase** — each iteration
+   a. fits a Gaussian process on the *feasible* observations (Matérn-5/2 over
+      per-type distances, gamma lengthscale priors, log-transformed
+      objective),
+   b. fits a random-forest feasibility classifier on *all* observations
+      (hidden constraints),
+   c. samples the minimum-feasibility threshold ε_f,
+   d. maximizes the feasibility-weighted noiseless EI by multi-start local
+      search restricted to the feasible region,
+   e. evaluates the proposed configuration through the compiler toolchain and
+      appends the result to the history.
+
+The class exposes switches for every design choice studied in the paper's
+ablations (Fig. 8–10): permutation metric, log transforms, lengthscale
+priors, local search, advanced GP fitting, feasibility model, feasibility
+threshold, and the surrogate family (GP vs. RF).
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..models.gp import GaussianProcess
+from ..models.priors import GammaPrior
+from ..models.random_forest import RandomForestRegressor
+from ..space.parameters import PermutationParameter
+from ..space.space import Configuration, SearchSpace
+from .acquisition import AcquisitionFunction
+from .doe import default_doe_size, initial_design
+from .feasibility import FeasibilityModel, FeasibilityThresholdSchedule
+from .local_search import LocalSearchSettings, multistart_local_search, random_candidates
+from .tuner import Tuner
+
+__all__ = ["BacoSettings", "BacoTuner"]
+
+
+@dataclass
+class BacoSettings:
+    """All tunable design choices of BaCO (defaults match the paper)."""
+
+    #: number of initial random configurations; None = rule-of-thumb from the budget
+    doe_size: int | None = None
+    #: surrogate model family: "gp" (default) or "rf" (Fig. 8 comparison)
+    surrogate: str = "gp"
+    #: GP kernel
+    kernel: str = "matern52"
+    #: semimetric for permutation parameters ("spearman" default, Fig. 9 ablation)
+    permutation_metric: str = "spearman"
+    #: log-transform exponential parameters and the objective (Sec. 4.1 / 4.2)
+    use_transformations: bool = True
+    #: gamma priors on the GP lengthscales (Sec. 3.2)
+    use_lengthscale_priors: bool = True
+    #: multistart L-BFGS hyper-parameter fitting (vs. best-of-prior-samples)
+    advanced_gp_fitting: bool = True
+    #: use the noise-free EI variant (Sec. 3.3)
+    noiseless_ei: bool = True
+    #: optimize the acquisition with local search (vs. best-of-random-batch)
+    use_local_search: bool = True
+    #: model hidden constraints with the RF feasibility classifier (Sec. 4.2)
+    use_feasibility_model: bool = True
+    #: apply the random minimum-feasibility threshold ε_f
+    use_feasibility_threshold: bool = True
+    #: local-search settings
+    n_random_samples: int = 256
+    n_local_search_starts: int = 5
+    max_local_search_steps: int = 32
+    #: feasibility model / threshold settings
+    feasibility_trees: int = 24
+    epsilon_zero_probability: float = 0.3
+    epsilon_max: float = 0.8
+    #: GP fitting effort
+    gp_prior_samples: int = 16
+    gp_refined_starts: int = 2
+    gp_max_iterations: int = 25
+    #: RF surrogate settings (when surrogate == "rf")
+    rf_trees: int = 32
+
+    def __post_init__(self) -> None:
+        if self.surrogate not in ("gp", "rf"):
+            raise ValueError("surrogate must be 'gp' or 'rf'")
+
+    @classmethod
+    def baco_minus_minus(cls) -> "BacoSettings":
+        """The restricted BaCO-- variant used in Fig. 8."""
+        return cls(
+            use_transformations=False,
+            use_lengthscale_priors=False,
+            use_local_search=False,
+            permutation_metric="naive",
+            advanced_gp_fitting=False,
+        )
+
+
+class BacoTuner(Tuner):
+    """Bayesian Compiler Optimization autotuner."""
+
+    name = "BaCO"
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        settings: BacoSettings | None = None,
+        seed: int | None = None,
+    ) -> None:
+        super().__init__(space, seed=seed)
+        self.settings = settings or BacoSettings()
+        self._model_space = self._prepare_model_space(space, self.settings)
+        self._feasibility = FeasibilityModel(
+            space, n_trees=self.settings.feasibility_trees, rng=self._rng
+        ) if self.settings.use_feasibility_model else None
+        self._epsilon_schedule = FeasibilityThresholdSchedule(
+            zero_probability=self.settings.epsilon_zero_probability,
+            max_threshold=self.settings.epsilon_max,
+            enabled=self.settings.use_feasibility_threshold,
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _prepare_model_space(space: SearchSpace, settings: BacoSettings) -> SearchSpace:
+        """Clone the space with the configured permutation metric / transforms.
+
+        The *model* space only affects distances inside the surrogate; the
+        original space is still used for sampling and constraint handling, so
+        both always agree on which configurations are feasible.
+        """
+        parameters = []
+        for param in space.parameters:
+            clone = copy.deepcopy(param)
+            if isinstance(clone, PermutationParameter):
+                metric = settings.permutation_metric
+                clone = PermutationParameter(
+                    clone.name, clone.n_elements, metric=metric, default=clone.default
+                )
+            elif not settings.use_transformations and getattr(clone, "transform", "linear") == "log":
+                clone.transform = "linear"
+            parameters.append(clone)
+        # constraints are irrelevant for distance computations
+        return SearchSpace(parameters, constraints=[], build_chain_of_trees=False)
+
+    def _make_surrogate(self) -> GaussianProcess | RandomForestRegressor:
+        if self.settings.surrogate == "rf":
+            return RandomForestRegressor(n_trees=self.settings.rf_trees, rng=self._rng)
+        return GaussianProcess(
+            self._model_space.parameters,
+            kernel=self.settings.kernel,
+            lengthscale_prior=GammaPrior(2.0, 2.0) if self.settings.use_lengthscale_priors else None,
+            log_transform_output=self.settings.use_transformations,
+            n_prior_samples=self.settings.gp_prior_samples,
+            n_refined_starts=self.settings.gp_refined_starts,
+            max_optimizer_iterations=self.settings.gp_max_iterations,
+            advanced_fit=self.settings.advanced_gp_fitting,
+            rng=self._rng,
+        )
+
+    # ------------------------------------------------------------------
+    def _run(self, budget: int) -> None:
+        doe_size = self.settings.doe_size or default_doe_size(self.space, budget)
+        doe_size = min(doe_size, budget)
+        for config in initial_design(self.space, doe_size, self._rng):
+            if self._remaining(budget) <= 0:
+                return
+            self._evaluate(config, phase="initial")
+
+        while self._remaining(budget) > 0:
+            config = self._recommend()
+            self._evaluate(config, phase="learning")
+
+    # ------------------------------------------------------------------
+    def _recommend(self) -> Configuration:
+        """One learning-phase recommendation."""
+        history = self.history
+        feasible = history.feasible_evaluations
+        evaluated_keys = {self.space.freeze(e.configuration) for e in history}
+
+        if self._feasibility is not None:
+            self._feasibility.fit(
+                [e.configuration for e in history],
+                [e.feasible for e in history],
+            )
+
+        # Not enough feasible data to fit the surrogate: keep exploring randomly.
+        if len(feasible) < 2 or len({e.value for e in feasible}) < 2:
+            return self._random_fallback(evaluated_keys)
+
+        surrogate = self._make_surrogate()
+        configs = [e.configuration for e in feasible]
+        values = [e.value for e in feasible]
+        if isinstance(surrogate, RandomForestRegressor):
+            acquisition = self._fit_rf_acquisition(surrogate, configs, values)
+            best_value_model = min(np.log(values)) if self.settings.use_transformations else min(values)
+        else:
+            try:
+                surrogate.fit(configs, values)
+            except (ValueError, np.linalg.LinAlgError):
+                return self._random_fallback(evaluated_keys)
+            epsilon = self._epsilon_schedule.sample(self._rng)
+            acquisition = AcquisitionFunction(
+                surrogate,
+                best_value=min(values),
+                feasibility_model=self._feasibility,
+                feasibility_threshold=epsilon,
+                noiseless=self.settings.noiseless_ei,
+            )
+
+        settings = LocalSearchSettings(
+            n_random_samples=self.settings.n_random_samples,
+            n_starts=self.settings.n_local_search_starts,
+            max_steps=self.settings.max_local_search_steps if self.settings.use_local_search else 0,
+        )
+        config, value = multistart_local_search(
+            self.space, acquisition, self._rng, settings=settings, exclude=evaluated_keys
+        )
+        if config is None or not np.isfinite(value):
+            return self._random_fallback(evaluated_keys)
+        return config
+
+    # ------------------------------------------------------------------
+    def _fit_rf_acquisition(self, surrogate, configs, values):
+        """EI over an RF surrogate (used for the Fig. 8 GP-vs-RF comparison)."""
+        from scipy import stats
+
+        targets = np.log(values) if self.settings.use_transformations else np.asarray(values, dtype=float)
+        features = self.space.encode_many(configs)
+        surrogate.fit(features, targets)
+        best = float(np.min(targets))
+        feasibility = self._feasibility
+        epsilon = self._epsilon_schedule.sample(self._rng)
+        space = self.space
+
+        def acquisition(candidates):
+            feats = space.encode_many(candidates)
+            mean, var = surrogate.predict_with_uncertainty(feats)
+            std = np.sqrt(np.maximum(var, 1e-18))
+            improvement = best - mean
+            z = improvement / std
+            ei = improvement * stats.norm.cdf(z) + std * stats.norm.pdf(z)
+            ei = np.maximum(ei, 0.0)
+            if feasibility is not None and feasibility.is_trained:
+                probability = feasibility.predict_probability(candidates)
+                ei = np.where(probability >= epsilon, ei * probability, -np.inf)
+            return ei
+
+        return acquisition
+
+    def _random_fallback(self, evaluated_keys: set[tuple]) -> Configuration:
+        """Random feasible configuration, avoiding re-evaluations when possible."""
+        for _ in range(64):
+            config = self.space.sample_one(self._rng)
+            if self.space.freeze(config) not in evaluated_keys:
+                return config
+        return self.space.sample_one(self._rng)

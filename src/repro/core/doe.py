@@ -1,0 +1,54 @@
+"""Initial design of experiments (DoE).
+
+The first few configurations of a BO run are sampled uniformly at random from
+the feasible region (the "initial phase" of Fig. 2).  When the search space
+has a Chain-of-Trees, sampling uniformly over leaves removes the structural
+bias of sampling per-level (Sec. 4.2); both variants are exposed so the bias
+can be studied (CoT-sampling baseline of the evaluation).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from ..space.space import Configuration, SearchSpace
+
+__all__ = ["initial_design", "default_doe_size"]
+
+
+def default_doe_size(space: SearchSpace, budget: int) -> int:
+    """Paper-style rule of thumb: ~max(D+1, 10% of the budget), capped at budget/3."""
+    size = max(space.dimension + 1, budget // 10, 3)
+    return max(1, min(size, max(1, budget // 3)))
+
+
+def initial_design(
+    space: SearchSpace,
+    n_samples: int,
+    rng: np.random.Generator,
+    biased_cot: bool = False,
+    deduplicate: bool = True,
+    max_attempts_factor: int = 20,
+) -> list[Configuration]:
+    """Sample the initial configurations uniformly from the feasible region."""
+    if n_samples < 1:
+        raise ValueError("n_samples must be at least 1")
+    samples: list[Configuration] = []
+    seen: set[tuple] = set()
+    attempts = 0
+    max_attempts = max_attempts_factor * n_samples
+    while len(samples) < n_samples and attempts < max_attempts:
+        attempts += 1
+        config = space.sample_one(rng, biased_cot=biased_cot)
+        key = space.freeze(config)
+        if deduplicate and key in seen:
+            continue
+        seen.add(key)
+        samples.append(config)
+    # If the space is tiny (fewer feasible points than requested), allow
+    # duplicates rather than failing: the tuner still needs a full DoE.
+    while len(samples) < n_samples:
+        samples.append(space.sample_one(rng, biased_cot=biased_cot))
+    return samples

@@ -1,0 +1,118 @@
+"""Multi-start local search for acquisition-function optimization.
+
+BaCO optimizes its acquisition function (Sec. 3.3) by
+
+1. sampling a large batch of feasible configurations uniformly at random
+   (from the Chain-of-Trees where available),
+2. keeping the best few as starting points,
+3. hill-climbing each start over the *feasible* one-parameter-change
+   neighbourhood until no neighbour improves the acquisition value,
+4. returning the best configuration found that has not already been
+   evaluated.
+
+Because known constraints are enforced when generating both the random batch
+and the neighbourhoods, the acquisition optimizer only ever proposes feasible
+configurations.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from ..space.space import Configuration, SearchSpace
+
+__all__ = ["LocalSearchSettings", "multistart_local_search", "random_candidates"]
+
+
+class LocalSearchSettings:
+    """Knobs of the acquisition optimizer."""
+
+    def __init__(
+        self,
+        n_random_samples: int = 256,
+        n_starts: int = 5,
+        max_steps: int = 32,
+        biased_cot: bool = False,
+    ) -> None:
+        if n_random_samples < 1 or n_starts < 1 or max_steps < 0:
+            raise ValueError("local-search settings must be positive")
+        self.n_random_samples = n_random_samples
+        self.n_starts = min(n_starts, n_random_samples)
+        self.max_steps = max_steps
+        self.biased_cot = biased_cot
+
+
+def random_candidates(
+    space: SearchSpace,
+    n_samples: int,
+    rng: np.random.Generator,
+    biased_cot: bool = False,
+) -> list[Configuration]:
+    """Uniform feasible candidates; duplicates are collapsed."""
+    configs = space.sample(rng, n_samples, biased_cot=biased_cot)
+    unique: dict[tuple, Configuration] = {}
+    for config in configs:
+        unique.setdefault(space.freeze(config), config)
+    return list(unique.values())
+
+
+def multistart_local_search(
+    space: SearchSpace,
+    acquisition: Callable[[Sequence[Mapping[str, Any]]], np.ndarray],
+    rng: np.random.Generator,
+    settings: LocalSearchSettings | None = None,
+    exclude: Iterable[tuple] = (),
+) -> tuple[Configuration | None, float]:
+    """Return the best configuration according to ``acquisition``.
+
+    ``exclude`` contains frozen keys of configurations that must not be
+    returned (typically those already evaluated).  If every candidate is
+    excluded or has acquisition ``-inf``, ``(None, -inf)`` is returned and the
+    caller should fall back to random sampling.
+    """
+    settings = settings or LocalSearchSettings()
+    excluded = set(exclude)
+
+    candidates = random_candidates(
+        space, settings.n_random_samples, rng, biased_cot=settings.biased_cot
+    )
+    if not candidates:
+        return None, -np.inf
+    values = np.asarray(acquisition(candidates), dtype=float)
+
+    order = np.argsort(-values)
+    starts = [candidates[i] for i in order[: settings.n_starts]]
+    start_values = [float(values[i]) for i in order[: settings.n_starts]]
+
+    best_config: Configuration | None = None
+    best_value = -np.inf
+
+    for config, value in zip(starts, start_values):
+        current, current_value = config, value
+        for _ in range(settings.max_steps):
+            neighbours = space.neighbours(current, feasible_only=True)
+            if not neighbours:
+                break
+            neighbour_values = np.asarray(acquisition(neighbours), dtype=float)
+            idx = int(np.argmax(neighbour_values))
+            if neighbour_values[idx] <= current_value:
+                break
+            current, current_value = neighbours[idx], float(neighbour_values[idx])
+        candidate_pool = [(current, current_value), (config, value)]
+        for cand, cand_value in candidate_pool:
+            if space.freeze(cand) in excluded:
+                continue
+            if cand_value > best_value:
+                best_config, best_value = cand, cand_value
+            break
+
+    if best_config is None:
+        # every local optimum was already evaluated: pick the best non-excluded
+        # random candidate instead.
+        for i in order:
+            if space.freeze(candidates[i]) not in excluded and np.isfinite(values[i]):
+                return candidates[i], float(values[i])
+        return None, -np.inf
+    return best_config, best_value

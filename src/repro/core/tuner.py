@@ -1,0 +1,76 @@
+"""Common interface shared by BaCO and all baseline autotuners."""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..space.space import SearchSpace
+from .result import ObjectiveFunction, ObjectiveResult, TuningHistory
+
+__all__ = ["Tuner"]
+
+
+class Tuner(ABC):
+    """Base class: a tuner proposes configurations and records evaluations.
+
+    Subclasses implement :meth:`_run`, which drives the proposal loop and
+    calls :meth:`_evaluate` for each configuration.  The base class keeps the
+    bookkeeping (history, de-duplication of timing) uniform so that the
+    wall-clock comparison of Table 10 treats every tuner identically.
+    """
+
+    name = "tuner"
+
+    def __init__(self, space: SearchSpace, seed: int | None = None) -> None:
+        self.space = space
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+        self._history: TuningHistory | None = None
+        self._objective: ObjectiveFunction | None = None
+
+    # ------------------------------------------------------------------
+    def tune(
+        self,
+        objective: ObjectiveFunction,
+        budget: int,
+        benchmark_name: str = "",
+    ) -> TuningHistory:
+        """Run the tuner for ``budget`` black-box evaluations."""
+        if budget < 1:
+            raise ValueError("budget must be at least 1")
+        self._objective = objective
+        self._history = TuningHistory(
+            tuner_name=self.name, benchmark_name=benchmark_name, seed=self.seed
+        )
+        start = time.perf_counter()
+        self._run(budget)
+        total = time.perf_counter() - start
+        self._history.tuner_seconds = max(0.0, total - self._history.evaluation_seconds)
+        return self._history
+
+    # ------------------------------------------------------------------
+    def _evaluate(self, configuration: Mapping[str, Any], phase: str = "learning") -> ObjectiveResult:
+        """Evaluate one configuration through the black box and record it."""
+        start = time.perf_counter()
+        result = self._objective(configuration)
+        self._history.evaluation_seconds += time.perf_counter() - start
+        self._history.append(configuration, result, phase=phase)
+        return result
+
+    @property
+    def history(self) -> TuningHistory:
+        if self._history is None:
+            raise RuntimeError("tune() has not been called yet")
+        return self._history
+
+    def _remaining(self, budget: int) -> int:
+        return budget - len(self._history)
+
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def _run(self, budget: int) -> None:
+        """Propose and evaluate configurations until the budget is exhausted."""

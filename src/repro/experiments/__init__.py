@@ -1,0 +1,68 @@
+"""Experiment harness: runners, metrics, and paper figure / table reproduction."""
+
+from .config import ExperimentConfig, default_config
+from .figures import (
+    SPMM_ABLATION_TENSORS,
+    figure5_data,
+    figure6_data,
+    figure7_data,
+    figure8_data,
+    figure9_data,
+    figure10_data,
+    suite_benchmarks,
+)
+from .metrics import (
+    evaluations_to_reach,
+    expert_hits,
+    geometric_mean,
+    mean_best_curve,
+    mean_best_value,
+    reference_value,
+    relative_performance,
+    speedup_factor,
+)
+from .reporting import format_checkpoint_study, format_evolution, format_figure5, format_table
+from .runner import MAIN_TUNERS, TUNER_VARIANTS, make_tuner, run_benchmark, run_single, run_suite
+from .tables import (
+    relative_performance_rows,
+    table3_rows,
+    table5_rows,
+    table9_rows,
+    table10_rows,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "MAIN_TUNERS",
+    "SPMM_ABLATION_TENSORS",
+    "TUNER_VARIANTS",
+    "default_config",
+    "evaluations_to_reach",
+    "expert_hits",
+    "figure10_data",
+    "figure5_data",
+    "figure6_data",
+    "figure7_data",
+    "figure8_data",
+    "figure9_data",
+    "format_checkpoint_study",
+    "format_evolution",
+    "format_figure5",
+    "format_table",
+    "geometric_mean",
+    "make_tuner",
+    "mean_best_curve",
+    "mean_best_value",
+    "reference_value",
+    "relative_performance",
+    "relative_performance_rows",
+    "run_benchmark",
+    "run_single",
+    "run_suite",
+    "speedup_factor",
+    "suite_benchmarks",
+    "table10_rows",
+    "table3_rows",
+    "table5_rows",
+    "table9_rows",
+]

@@ -1,0 +1,275 @@
+"""Data series for every figure of the paper's evaluation section.
+
+Each ``figureN_data`` function runs (or loads from the cache) the experiments
+behind the corresponding figure and returns plain data structures — the same
+series a plotting script would draw.  The benchmark harness prints them as
+text tables so the reproduction can be compared with the paper at a glance.
+
+* Fig. 5  — average performance relative to expert at tiny / small / full budget,
+* Fig. 6  — evolution of the best runtime for one kernel per framework,
+* Fig. 7 / Fig. 11 — evolution for all benchmarks,
+* Fig. 8  — comparison of BO implementations (BaCO, BaCO--, Ytopt (GP), RF),
+* Fig. 9  — ablation of permutation metric, transformations, priors,
+* Fig. 10 — impact of the hidden-constraint model and the feasibility limit.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..core.result import TuningHistory
+from ..workloads.base import Benchmark
+from ..workloads.registry import benchmarks_by_framework, get_benchmark, representative_benchmarks
+from ..workloads.taco_suite import build_taco_benchmark
+from .config import ExperimentConfig, default_config
+from .metrics import (
+    evaluations_to_reach,
+    geometric_mean,
+    mean_best_curve,
+    mean_best_value,
+    reference_value,
+    relative_performance,
+)
+from .runner import MAIN_TUNERS, run_benchmark, run_single
+
+__all__ = [
+    "suite_benchmarks",
+    "figure5_data",
+    "figure6_data",
+    "figure7_data",
+    "figure8_data",
+    "figure9_data",
+    "figure10_data",
+    "SPMM_ABLATION_TENSORS",
+]
+
+#: matrices used by the Fig. 8 / Fig. 9 SpMM studies
+SPMM_ABLATION_TENSORS = ("filter3D", "email-Enron", "amazon0312")
+
+#: representative per-framework subset used when REPRO_FULL_SUITE is off
+_FAST_SUBSET = {
+    "TACO": [
+        "taco_spmm_scircuit",
+        "taco_spmv_cage12",
+        "taco_sddmm_email-Enron",
+        "taco_ttv_facebook",
+        "taco_mttkrp_uber",
+    ],
+    "RISE & ELEVATE": ["rise_mm_cpu", "rise_mm_gpu", "rise_asum_gpu", "rise_scal_gpu"],
+    "HPVM2FPGA": ["hpvm_bfs", "hpvm_audio", "hpvm_preeuler"],
+}
+
+
+def suite_benchmarks(config: ExperimentConfig | None = None) -> dict[str, list[str]]:
+    """Benchmarks included in the big sweeps, grouped by framework."""
+    config = config or default_config()
+    if config.full_suite:
+        return benchmarks_by_framework()
+    return {fw: list(names) for fw, names in _FAST_SUBSET.items()}
+
+
+# ---------------------------------------------------------------------------
+# Fig. 5
+# ---------------------------------------------------------------------------
+
+def figure5_data(
+    config: ExperimentConfig | None = None,
+    tuners: Sequence[str] = MAIN_TUNERS,
+) -> dict[str, dict[str, dict[str, float]]]:
+    """Average performance relative to expert per framework / budget / tuner.
+
+    Returns ``{framework: {budget_level: {tuner_or_Default: mean_relative}}}``.
+    """
+    config = config or default_config()
+    output: dict[str, dict[str, dict[str, float]]] = {}
+    for framework, names in suite_benchmarks(config).items():
+        per_level: dict[str, dict[str, list[float]]] = {
+            level: {t: [] for t in (*tuners, "Default")} for level in ("tiny", "small", "full")
+        }
+        for name in names:
+            benchmark = get_benchmark(name)
+            budget = config.scaled_budget(benchmark.full_budget)
+            results = run_benchmark(benchmark, tuners, budget=budget, config=config)
+            reference = reference_value(benchmark, results)
+            for level, fraction in (("tiny", 1 / 3), ("small", 2 / 3), ("full", 1.0)):
+                level_budget = max(1, int(round(budget * fraction)))
+                for tuner in tuners:
+                    per_level[level][tuner].append(
+                        relative_performance(
+                            benchmark, results[tuner], level_budget, reference=reference
+                        )
+                    )
+                default_rel = (
+                    reference / benchmark.default_value
+                    if math.isfinite(benchmark.default_value) and benchmark.default_value > 0
+                    else float("nan")
+                )
+                per_level[level]["Default"].append(default_rel)
+        output[framework] = {
+            level: {
+                tuner: float(np.nanmean(values)) if values else float("nan")
+                for tuner, values in level_data.items()
+            }
+            for level, level_data in per_level.items()
+        }
+    return output
+
+
+# ---------------------------------------------------------------------------
+# Fig. 6 / Fig. 7 / Fig. 11
+# ---------------------------------------------------------------------------
+
+def _evolution_entry(
+    benchmark: Benchmark,
+    results: Mapping[str, Sequence[TuningHistory]],
+    budget: int,
+) -> dict:
+    reference = reference_value(benchmark, results)
+    curves = {tuner: mean_best_curve(histories, budget) for tuner, histories in results.items()}
+    expert_cross = {
+        tuner: evaluations_to_reach(histories, reference, budget)
+        if math.isfinite(reference)
+        else float("nan")
+        for tuner, histories in results.items()
+    }
+    return {
+        "benchmark": benchmark.name,
+        "framework": benchmark.framework,
+        "budget": budget,
+        "expert_value": benchmark.expert_value,
+        "default_value": benchmark.default_value,
+        "reference_value": reference,
+        "curves": curves,
+        "evaluations_to_expert": expert_cross,
+    }
+
+
+def figure6_data(
+    config: ExperimentConfig | None = None,
+    tuners: Sequence[str] = MAIN_TUNERS,
+) -> list[dict]:
+    """Best-runtime evolution for the representative kernel of each framework."""
+    config = config or default_config()
+    entries = []
+    for _framework, name in representative_benchmarks().items():
+        benchmark = get_benchmark(name)
+        budget = config.scaled_budget(benchmark.full_budget)
+        results = run_benchmark(benchmark, tuners, budget=budget, config=config)
+        entry = _evolution_entry(benchmark, results, budget)
+        # the speedup annotations of Fig. 6: budget / evaluations BaCO needs to
+        # match each baseline's final best value
+        annotations = {}
+        for tuner in tuners:
+            if tuner == "BaCO":
+                continue
+            target = mean_best_value(results[tuner], budget)
+            needed = evaluations_to_reach(results["BaCO"], target, budget)
+            annotations[tuner] = budget / needed if math.isfinite(needed) and needed > 0 else float("nan")
+        entry["speedup_vs"] = annotations
+        entries.append(entry)
+    return entries
+
+
+def figure7_data(
+    config: ExperimentConfig | None = None,
+    tuners: Sequence[str] = MAIN_TUNERS,
+    benchmarks: Sequence[str] | None = None,
+) -> list[dict]:
+    """Best-runtime evolution for every benchmark in the suite (Fig. 7 + Fig. 11)."""
+    config = config or default_config()
+    if benchmarks is None:
+        benchmarks = [name for names in suite_benchmarks(config).values() for name in names]
+    entries = []
+    for name in benchmarks:
+        benchmark = get_benchmark(name)
+        budget = config.scaled_budget(benchmark.full_budget)
+        results = run_benchmark(benchmark, tuners, budget=budget, config=config)
+        entries.append(_evolution_entry(benchmark, results, budget))
+    return entries
+
+
+# ---------------------------------------------------------------------------
+# Fig. 8 / Fig. 9 (SpMM ablation studies)
+# ---------------------------------------------------------------------------
+
+_CHECKPOINTS = (("tiny", 1 / 3), ("small", 2 / 3), ("full", 1.0))
+
+
+def _checkpoint_study(
+    variants: Sequence[str],
+    benchmarks: Sequence[Benchmark],
+    config: ExperimentConfig,
+) -> dict[str, dict[str, float]]:
+    """Geometric-mean relative performance of variants at budget checkpoints.
+
+    Returns ``{variant: {"tiny"|"small"|"full": geometric mean over benchmarks}}``
+    where the checkpoints are 1/3, 2/3 and all of each benchmark's (scaled)
+    budget — the 20 / 40 / 60 evaluation marks of Fig. 8-10.
+    """
+    output: dict[str, dict[str, float]] = {}
+    for variant in variants:
+        per_checkpoint: dict[str, list[float]] = {level: [] for level, _ in _CHECKPOINTS}
+        for benchmark in benchmarks:
+            budget = config.scaled_budget(benchmark.full_budget)
+            histories = [
+                run_single(benchmark, variant, budget, config.base_seed + rep, config)
+                for rep in range(config.repetitions)
+            ]
+            for level, fraction in _CHECKPOINTS:
+                level_budget = max(1, int(round(budget * fraction)))
+                per_checkpoint[level].append(
+                    relative_performance(benchmark, histories, level_budget)
+                )
+        output[variant] = {
+            level: geometric_mean(values) for level, values in per_checkpoint.items()
+        }
+    return output
+
+
+def _spmm_study(
+    variants: Sequence[str],
+    config: ExperimentConfig,
+) -> dict[str, dict[str, float]]:
+    """Geometric-mean relative performance of variants on the SpMM matrices."""
+    benchmarks = [build_taco_benchmark("spmm", tensor) for tensor in SPMM_ABLATION_TENSORS]
+    return _checkpoint_study(variants, benchmarks, config)
+
+
+def figure8_data(config: ExperimentConfig | None = None) -> dict[str, dict[str, float]]:
+    """Fig. 8: BaCO vs BaCO-- vs Ytopt (GP) vs an RF-surrogate BaCO."""
+    config = config or default_config()
+    variants = ("BaCO", "BaCO--", "Ytopt (GP)", "BaCO (RF surrogate)")
+    return _spmm_study(variants, config)
+
+
+def figure9_data(config: ExperimentConfig | None = None) -> dict[str, dict[str, float]]:
+    """Fig. 9: permutation-metric / transformation / prior ablation."""
+    config = config or default_config()
+    variants = (
+        "BaCO",
+        "BaCO (kendall)",
+        "BaCO (hamming)",
+        "BaCO (naive permutations)",
+        "BaCO (no transformations)",
+        "BaCO (no priors)",
+    )
+    return _spmm_study(variants, config)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 10 (hidden constraints)
+# ---------------------------------------------------------------------------
+
+def figure10_data(config: ExperimentConfig | None = None) -> dict[str, dict[str, float]]:
+    """Fig. 10: impact of the feasibility model and the minimum feasibility limit.
+
+    Geometric mean over the MM_GPU and Scal_GPU kernels of the performance
+    relative to expert at three evaluation checkpoints.
+    """
+    config = config or default_config()
+    variants = ("BaCO", "BaCO (no hidden constraints)", "BaCO (no feasibility limit)")
+    benchmarks = [get_benchmark("rise_mm_gpu"), get_benchmark("rise_scal_gpu")]
+    return _checkpoint_study(variants, benchmarks, config)

@@ -1,0 +1,169 @@
+"""Metrics derived from tuning histories.
+
+All of the paper's summary statistics are computed here:
+
+* best feasible value within a budget, and its running ("best-so-far") curve,
+* performance relative to the expert configuration (Tables 6-8 and Fig. 5) —
+  a value above 1 means the tuner beat the expert,
+* how many repetitions reached expert-level performance (Table 5),
+* how many evaluations a tuner needs to reach a target value, and the
+  resulting "how much faster" factors of Table 9,
+* geometric means used by the ablation figures (Fig. 8-10).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from ..core.result import TuningHistory
+from ..workloads.base import Benchmark
+
+__all__ = [
+    "geometric_mean",
+    "mean_best_curve",
+    "mean_best_value",
+    "relative_performance",
+    "expert_hits",
+    "evaluations_to_reach",
+    "speedup_factor",
+    "reference_value",
+]
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean, ignoring non-finite entries; ``nan`` if none remain."""
+    finite = [v for v in values if math.isfinite(v) and v > 0]
+    if not finite:
+        return float("nan")
+    return float(np.exp(np.mean(np.log(finite))))
+
+
+def mean_best_value(histories: Sequence[TuningHistory], budget: int | None = None) -> float:
+    """Mean (over repetitions) of the best feasible value within ``budget``."""
+    values = [h.best_value(budget) for h in histories]
+    finite = [v for v in values if math.isfinite(v)]
+    if not finite:
+        return math.inf
+    return float(np.mean(finite))
+
+
+def mean_best_curve(histories: Sequence[TuningHistory], budget: int | None = None) -> np.ndarray:
+    """Average best-so-far curve across repetitions (Fig. 6/7/11 series).
+
+    Runs that have not yet found a feasible point contribute their eventual
+    first feasible value (right-censored), so the curve stays finite and
+    monotone.
+    """
+    if not histories:
+        return np.empty(0)
+    length = min(len(h) for h in histories) if budget is None else budget
+    curves = []
+    for history in histories:
+        curve = history.best_so_far(length)
+        if np.isinf(curve).any():
+            finite = curve[np.isfinite(curve)]
+            fill = finite[0] if len(finite) else np.nan
+            curve = np.where(np.isinf(curve), fill, curve)
+        curves.append(curve)
+    return np.nanmean(np.vstack(curves), axis=0)
+
+
+def reference_value(
+    benchmark: Benchmark,
+    all_histories: Mapping[str, Sequence[TuningHistory]] | None = None,
+) -> float:
+    """The normalization constant used for "performance relative to expert".
+
+    For benchmarks with an expert configuration this is the expert's runtime.
+    The HPVM2FPGA benchmarks have none, so — like the paper's tables, where
+    the best tuner's full-budget result defines 1.00 — the best value found by
+    any tuner across ``all_histories`` is used instead (falling back to the
+    default configuration when no histories are supplied).
+    """
+    if benchmark.has_expert:
+        return benchmark.expert_value
+    if all_histories:
+        best = min(
+            (h.best_value() for histories in all_histories.values() for h in histories),
+            default=math.inf,
+        )
+        if math.isfinite(best):
+            return best
+    return benchmark.default_value
+
+
+def relative_performance(
+    benchmark: Benchmark,
+    histories: Sequence[TuningHistory],
+    budget: int | None = None,
+    reference: float | None = None,
+) -> float:
+    """Mean of ``reference / best_found`` over repetitions (> 1 beats the expert)."""
+    reference = benchmark.reference_value if reference is None else reference
+    if not math.isfinite(reference):
+        return float("nan")
+    ratios = []
+    for history in histories:
+        best = history.best_value(budget)
+        ratios.append(reference / best if math.isfinite(best) else 0.0)
+    return float(np.mean(ratios)) if ratios else float("nan")
+
+
+def expert_hits(
+    benchmark: Benchmark,
+    histories: Sequence[TuningHistory],
+    budget: int | None = None,
+    reference: float | None = None,
+) -> int:
+    """Number of repetitions that reached expert-level performance (Table 5)."""
+    reference = benchmark.reference_value if reference is None else reference
+    if not math.isfinite(reference):
+        return 0
+    return sum(1 for h in histories if h.best_value(budget) <= reference)
+
+
+def evaluations_to_reach(
+    histories: Sequence[TuningHistory],
+    threshold: float,
+    budget: int | None = None,
+) -> float:
+    """Mean number of evaluations needed to reach ``threshold``.
+
+    Repetitions that never reach it are counted at the full budget (a
+    conservative, censoring-aware convention).
+    """
+    if not math.isfinite(threshold) or not histories:
+        return float("nan")
+    counts = []
+    for history in histories:
+        horizon = len(history) if budget is None else min(budget, len(history))
+        reached = history.evaluations_to_reach(threshold)
+        counts.append(reached if reached is not None and reached <= horizon else horizon)
+    return float(np.mean(counts))
+
+
+def speedup_factor(
+    fast_histories: Sequence[TuningHistory],
+    slow_histories: Sequence[TuningHistory],
+    budget: int,
+) -> float:
+    """Table 9 factor: how much faster the first tuner reaches the second's best.
+
+    The target is the slower tuner's mean final best value; the factor is the
+    full budget divided by the mean number of evaluations the faster tuner
+    needs to match that target.  ``nan`` is returned when the faster tuner's
+    final performance is worse than the target (the "-" entries of Table 9).
+    """
+    target = mean_best_value(slow_histories, budget)
+    if not math.isfinite(target):
+        return float("nan")
+    final = mean_best_value(fast_histories, budget)
+    if final > target:
+        return float("nan")
+    needed = evaluations_to_reach(fast_histories, target, budget)
+    if not math.isfinite(needed) or needed <= 0:
+        return float("nan")
+    return budget / needed

@@ -1,0 +1,198 @@
+"""Experiment runner: execute tuners on benchmarks, with an on-disk cache.
+
+The paper's figures and tables all derive from the same raw data: tuning
+histories of each autotuner on each benchmark, repeated over several seeds.
+:func:`run_single` produces one such history (and caches it as JSON under the
+configured cache directory); :func:`run_benchmark` and :func:`run_suite` fan
+out over repetitions / tuners / benchmarks.
+
+Tuner *variants* cover every algorithm configuration appearing in the
+evaluation: the five main tuners of Fig. 5/7, the BaCO--, Ytopt (GP) and
+RF-surrogate variants of Fig. 8, the permutation-metric / transformation /
+prior ablations of Fig. 9, and the hidden-constraint ablations of Fig. 10.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Callable, Iterable, Mapping, Sequence
+
+from ..baselines.opentuner import OpenTunerLikeTuner
+from ..baselines.random_search import CoTSamplingTuner, UniformSamplingTuner
+from ..baselines.ytopt import YtoptLikeTuner
+from ..core.baco import BacoSettings, BacoTuner
+from ..core.result import TuningHistory
+from ..core.tuner import Tuner
+from ..space.space import SearchSpace
+from ..workloads.base import Benchmark
+from ..workloads.registry import get_benchmark
+from .config import ExperimentConfig, default_config
+
+__all__ = [
+    "MAIN_TUNERS",
+    "TUNER_VARIANTS",
+    "make_tuner",
+    "run_single",
+    "run_benchmark",
+    "run_suite",
+]
+
+#: the five tuners compared throughout the evaluation (Fig. 5, 7, Tables 5-9)
+MAIN_TUNERS = (
+    "BaCO",
+    "ATF with OpenTuner",
+    "Ytopt",
+    "Uniform Sampling",
+    "CoT Sampling",
+)
+
+
+def _fast_overrides() -> dict:
+    """Cheaper BaCO internals for CI-scale runs (same algorithm, less effort)."""
+    return {
+        "gp_prior_samples": 8,
+        "gp_refined_starts": 1,
+        "gp_max_iterations": 15,
+        "n_random_samples": 128,
+        "n_local_search_starts": 3,
+        "max_local_search_steps": 16,
+        "feasibility_trees": 16,
+        "rf_trees": 16,
+    }
+
+
+def _baco_settings(fidelity: str, **kwargs) -> BacoSettings:
+    overrides = _fast_overrides() if fidelity == "fast" else {}
+    overrides.update(kwargs)
+    return BacoSettings(**overrides)
+
+
+def _baco_minus_minus_settings(fidelity: str) -> BacoSettings:
+    base = BacoSettings.baco_minus_minus()
+    if fidelity == "fast":
+        for key, value in _fast_overrides().items():
+            setattr(base, key, value)
+    return base
+
+
+#: name -> factory(space, seed, fidelity) for every algorithm variant
+TUNER_VARIANTS: dict[str, Callable[[SearchSpace, int, str], Tuner]] = {
+    "BaCO": lambda space, seed, fid: BacoTuner(space, settings=_baco_settings(fid), seed=seed),
+    "ATF with OpenTuner": lambda space, seed, fid: OpenTunerLikeTuner(space, seed=seed),
+    "Ytopt": lambda space, seed, fid: YtoptLikeTuner(space, seed=seed, surrogate="rf"),
+    "Ytopt (GP)": lambda space, seed, fid: YtoptLikeTuner(space, seed=seed, surrogate="gp"),
+    "Uniform Sampling": lambda space, seed, fid: UniformSamplingTuner(space, seed=seed),
+    "CoT Sampling": lambda space, seed, fid: CoTSamplingTuner(space, seed=seed),
+    # Fig. 8: BO implementation comparison
+    "BaCO--": lambda space, seed, fid: BacoTuner(
+        space, settings=_baco_minus_minus_settings(fid), seed=seed
+    ),
+    "BaCO (RF surrogate)": lambda space, seed, fid: BacoTuner(
+        space, settings=_baco_settings(fid, surrogate="rf"), seed=seed
+    ),
+    # Fig. 9: ablations
+    "BaCO (kendall)": lambda space, seed, fid: BacoTuner(
+        space, settings=_baco_settings(fid, permutation_metric="kendall"), seed=seed
+    ),
+    "BaCO (hamming)": lambda space, seed, fid: BacoTuner(
+        space, settings=_baco_settings(fid, permutation_metric="hamming"), seed=seed
+    ),
+    "BaCO (naive permutations)": lambda space, seed, fid: BacoTuner(
+        space, settings=_baco_settings(fid, permutation_metric="naive"), seed=seed
+    ),
+    "BaCO (no transformations)": lambda space, seed, fid: BacoTuner(
+        space, settings=_baco_settings(fid, use_transformations=False), seed=seed
+    ),
+    "BaCO (no priors)": lambda space, seed, fid: BacoTuner(
+        space, settings=_baco_settings(fid, use_lengthscale_priors=False), seed=seed
+    ),
+    # Fig. 10: hidden-constraint handling
+    "BaCO (no hidden constraints)": lambda space, seed, fid: BacoTuner(
+        space, settings=_baco_settings(fid, use_feasibility_model=False), seed=seed
+    ),
+    "BaCO (no feasibility limit)": lambda space, seed, fid: BacoTuner(
+        space, settings=_baco_settings(fid, use_feasibility_threshold=False), seed=seed
+    ),
+}
+
+
+def make_tuner(name: str, space: SearchSpace, seed: int, fidelity: str = "fast") -> Tuner:
+    """Instantiate a tuner variant by display name."""
+    if name not in TUNER_VARIANTS:
+        raise KeyError(f"unknown tuner {name!r}; available: {sorted(TUNER_VARIANTS)}")
+    tuner = TUNER_VARIANTS[name](space, seed, fidelity)
+    tuner.name = name
+    return tuner
+
+
+# ---------------------------------------------------------------------------
+# caching
+# ---------------------------------------------------------------------------
+
+def _cache_path(
+    config: ExperimentConfig, benchmark: str, tuner: str, budget: int, seed: int
+) -> Path:
+    key = f"{benchmark}|{tuner}|{budget}|{seed}|{config.fidelity}"
+    digest = hashlib.sha256(key.encode()).hexdigest()[:20]
+    safe_tuner = "".join(c if c.isalnum() else "_" for c in tuner)
+    return config.cache_dir / f"{benchmark}__{safe_tuner}__b{budget}__s{seed}__{digest}.json"
+
+
+def run_single(
+    benchmark: Benchmark | str,
+    tuner_name: str,
+    budget: int,
+    seed: int,
+    config: ExperimentConfig | None = None,
+) -> TuningHistory:
+    """Run (or load from cache) one tuner on one benchmark for one seed."""
+    config = config or default_config()
+    if isinstance(benchmark, str):
+        benchmark = get_benchmark(benchmark)
+    path = _cache_path(config, benchmark.name, tuner_name, budget, seed)
+    if config.use_cache and path.exists():
+        try:
+            return TuningHistory.from_dict(json.loads(path.read_text()))
+        except (json.JSONDecodeError, KeyError):
+            path.unlink(missing_ok=True)
+    tuner = make_tuner(tuner_name, benchmark.space, seed, fidelity=config.fidelity)
+    history = tuner.tune(benchmark.evaluator, budget, benchmark_name=benchmark.name)
+    if config.use_cache:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(history.to_dict()))
+    return history
+
+
+def run_benchmark(
+    benchmark: Benchmark | str,
+    tuner_names: Sequence[str] = MAIN_TUNERS,
+    budget: int | None = None,
+    config: ExperimentConfig | None = None,
+) -> dict[str, list[TuningHistory]]:
+    """Run several tuners on one benchmark for ``config.repetitions`` seeds."""
+    config = config or default_config()
+    if isinstance(benchmark, str):
+        benchmark = get_benchmark(benchmark)
+    budget = budget if budget is not None else config.scaled_budget(benchmark.full_budget)
+    results: dict[str, list[TuningHistory]] = {}
+    for tuner_name in tuner_names:
+        histories = []
+        for repetition in range(config.repetitions):
+            seed = config.base_seed + repetition
+            histories.append(run_single(benchmark, tuner_name, budget, seed, config))
+        results[tuner_name] = histories
+    return results
+
+
+def run_suite(
+    benchmark_names: Iterable[str],
+    tuner_names: Sequence[str] = MAIN_TUNERS,
+    config: ExperimentConfig | None = None,
+) -> dict[str, dict[str, list[TuningHistory]]]:
+    """Run the full cross product benchmark x tuner x repetition."""
+    config = config or default_config()
+    return {
+        name: run_benchmark(name, tuner_names, config=config) for name in benchmark_names
+    }

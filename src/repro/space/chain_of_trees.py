@@ -1,0 +1,267 @@
+"""Chain-of-Trees (CoT) representation of constrained discrete search spaces.
+
+Known constraints often make the feasible region a tiny fraction of the
+Cartesian product of parameter domains (Table 3 of the paper).  Following
+Rasch et al. (ATF) and Sec. 4.2 of the BaCO paper, the feasible region is
+pre-computed and stored as a *chain of trees*:
+
+* co-dependent parameters (those transitively linked by constraints) form a
+  group, and each group becomes one *tree*;
+* each level of a tree corresponds to one parameter of the group and each
+  node to one feasible value given the values on the path above it;
+* each root-to-leaf path is a feasible *partial configuration*;
+* parameters in different trees are independent, so any combination of
+  partial configurations is feasible.
+
+BaCO uses the CoT for three things (Sec. 4.2):
+
+1. **Bias-free random sampling** -- sampling uniformly over the leaves of
+   each tree (instead of walking down the tree choosing children uniformly,
+   which is biased towards sparse subtrees; both strategies are implemented
+   so the bias can be studied as in the evaluation's "CoT sampling" baseline).
+2. **Fast membership tests** -- checking whether a configuration is feasible
+   by walking the trees instead of re-evaluating every constraint.
+3. **Neighbour generation** on the feasible region for local search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from .constraints import Constraint
+from .parameters import Parameter
+
+__all__ = ["CoTNode", "Tree", "ChainOfTrees", "FeasibleSetTooLarge"]
+
+
+class FeasibleSetTooLarge(RuntimeError):
+    """Raised when enumerating the feasible set would exceed the node budget."""
+
+
+@dataclass
+class CoTNode:
+    """One node of a tree: a single value of a single parameter."""
+
+    value: Any
+    depth: int
+    children: list["CoTNode"] = field(default_factory=list)
+    leaf_count: int = 0
+
+    def is_leaf(self) -> bool:
+        return not self.children
+
+
+class Tree:
+    """A tree over one group of co-dependent parameters."""
+
+    def __init__(
+        self,
+        parameters: Sequence[Parameter],
+        constraints: Sequence[Constraint],
+        max_nodes: int = 2_000_000,
+    ) -> None:
+        for param in parameters:
+            if not param.is_discrete:
+                raise TypeError(
+                    f"Chain-of-Trees requires discrete parameters, got {param.name!r}"
+                )
+        self.parameters = list(parameters)
+        self.parameter_names = [p.name for p in parameters]
+        self.constraints = list(constraints)
+        self._max_nodes = max_nodes
+        self._node_count = 0
+        self.root = CoTNode(value=None, depth=-1)
+        self._build(self.root, {})
+        self._count_leaves(self.root)
+        if self.root.leaf_count == 0:
+            raise ValueError(
+                "constraints over parameters "
+                f"{self.parameter_names} admit no feasible configuration"
+            )
+
+    # -- construction ---------------------------------------------------
+    def _applicable(self, partial: Mapping[str, Any]) -> bool:
+        for constraint in self.constraints:
+            if constraint.is_applicable(partial) and not constraint.evaluate(partial):
+                return False
+        return True
+
+    def _build(self, node: CoTNode, partial: dict[str, Any]) -> None:
+        depth = node.depth + 1
+        if depth == len(self.parameters):
+            return
+        param = self.parameters[depth]
+        for value in param.values_list():
+            partial[param.name] = value
+            if self._applicable(partial):
+                self._node_count += 1
+                if self._node_count > self._max_nodes:
+                    raise FeasibleSetTooLarge(
+                        f"feasible enumeration exceeded {self._max_nodes} nodes"
+                    )
+                child = CoTNode(value=value, depth=depth)
+                self._build(child, partial)
+                # only keep children that lead to at least one full assignment
+                if depth == len(self.parameters) - 1 or child.children:
+                    node.children.append(child)
+            del partial[param.name]
+
+    def _count_leaves(self, node: CoTNode) -> int:
+        if node.is_leaf():
+            node.leaf_count = 1 if node.depth == len(self.parameters) - 1 else 0
+            return node.leaf_count
+        node.leaf_count = sum(self._count_leaves(child) for child in node.children)
+        return node.leaf_count
+
+    # -- queries ----------------------------------------------------------
+    @property
+    def n_feasible(self) -> int:
+        """Number of feasible partial configurations represented by this tree."""
+        return self.root.leaf_count
+
+    def contains(self, configuration: Mapping[str, Any]) -> bool:
+        """Walk the tree to test whether a configuration's projection is feasible."""
+        node = self.root
+        for param in self.parameters:
+            value = param.canonical(configuration[param.name])
+            matched = None
+            for child in node.children:
+                if child.value == value:
+                    matched = child
+                    break
+            if matched is None:
+                return False
+            node = matched
+        return True
+
+    def sample_leaf(self, rng: np.random.Generator) -> dict[str, Any]:
+        """Sample a partial configuration uniformly over the leaves (bias-free)."""
+        node = self.root
+        values: dict[str, Any] = {}
+        for param in self.parameters:
+            weights = np.array([child.leaf_count for child in node.children], dtype=float)
+            total = weights.sum()
+            probabilities = weights / total
+            idx = int(rng.choice(len(node.children), p=probabilities))
+            node = node.children[idx]
+            values[param.name] = node.value
+        return values
+
+    def sample_path(self, rng: np.random.Generator) -> dict[str, Any]:
+        """Sample by choosing a uniformly random child at every level (biased)."""
+        node = self.root
+        values: dict[str, Any] = {}
+        for param in self.parameters:
+            idx = int(rng.integers(len(node.children)))
+            node = node.children[idx]
+            values[param.name] = node.value
+        return values
+
+    def iter_leaves(self) -> Iterator[dict[str, Any]]:
+        """Yield every feasible partial configuration."""
+        stack: list[tuple[CoTNode, dict[str, Any]]] = [(self.root, {})]
+        while stack:
+            node, partial = stack.pop()
+            if node.depth == len(self.parameters) - 1:
+                yield dict(partial)
+                continue
+            next_param = self.parameters[node.depth + 1]
+            for child in node.children:
+                nxt = dict(partial)
+                nxt[next_param.name] = child.value
+                stack.append((child, nxt))
+
+    def feasible_values(
+        self, parameter_name: str, configuration: Mapping[str, Any]
+    ) -> list[Any]:
+        """Values of one parameter feasible given the others held fixed."""
+        if parameter_name not in self.parameter_names:
+            raise KeyError(parameter_name)
+        target = self.parameter_names.index(parameter_name)
+        results: list[Any] = []
+        self._collect_feasible_values(self.root, configuration, target, results)
+        return results
+
+    def _collect_feasible_values(
+        self,
+        node: CoTNode,
+        configuration: Mapping[str, Any],
+        target_depth: int,
+        results: list[Any],
+    ) -> None:
+        depth = node.depth + 1
+        if depth == len(self.parameters):
+            return
+        param = self.parameters[depth]
+        for child in node.children:
+            if depth == target_depth:
+                if self._subtree_matches(child, configuration, depth + 1):
+                    if child.value not in results:
+                        results.append(child.value)
+            else:
+                if child.value == param.canonical(configuration[param.name]):
+                    self._collect_feasible_values(child, configuration, target_depth, results)
+
+    def _subtree_matches(
+        self, node: CoTNode, configuration: Mapping[str, Any], depth: int
+    ) -> bool:
+        if depth == len(self.parameters):
+            return True
+        param = self.parameters[depth]
+        value = param.canonical(configuration[param.name])
+        for child in node.children:
+            if child.value == value and self._subtree_matches(child, configuration, depth + 1):
+                return True
+        return False
+
+
+class ChainOfTrees:
+    """The full chain: one tree per group of co-dependent parameters."""
+
+    def __init__(self, trees: Sequence[Tree]) -> None:
+        self.trees = list(trees)
+        names = [name for tree in self.trees for name in tree.parameter_names]
+        if len(names) != len(set(names)):
+            raise ValueError("a parameter may appear in at most one tree")
+        self.parameter_names = names
+        self._tree_of: dict[str, Tree] = {
+            name: tree for tree in self.trees for name in tree.parameter_names
+        }
+
+    @property
+    def n_feasible(self) -> int:
+        """Total number of feasible configurations over the chained parameters."""
+        total = 1
+        for tree in self.trees:
+            total *= tree.n_feasible
+        return total
+
+    def covers(self, parameter_name: str) -> bool:
+        return parameter_name in self._tree_of
+
+    def tree_for(self, parameter_name: str) -> Tree:
+        return self._tree_of[parameter_name]
+
+    def contains(self, configuration: Mapping[str, Any]) -> bool:
+        return all(tree.contains(configuration) for tree in self.trees)
+
+    def sample(self, rng: np.random.Generator, biased: bool = False) -> dict[str, Any]:
+        """Sample the constrained part of a configuration.
+
+        With ``biased=False`` (BaCO's fix) the sample is uniform over feasible
+        configurations; with ``biased=True`` it reproduces the ATF-style
+        uniform-per-level walk that over-weights sparse subtrees.
+        """
+        values: dict[str, Any] = {}
+        for tree in self.trees:
+            draw = tree.sample_path(rng) if biased else tree.sample_leaf(rng)
+            values.update(draw)
+        return values
+
+    def feasible_values(
+        self, parameter_name: str, configuration: Mapping[str, Any]
+    ) -> list[Any]:
+        return self._tree_of[parameter_name].feasible_values(parameter_name, configuration)

@@ -1,0 +1,169 @@
+"""Known-constraint predicates over configurations.
+
+A *known constraint* (Sec. 4.2) is a predicate over a configuration that is
+known before the optimization starts, e.g. "the tile size must divide the
+loop bound".  BaCO only ever proposes configurations satisfying all known
+constraints, so its surrogate model trains exclusively on feasible points.
+
+Constraints can be expressed either as
+
+* a Python expression string over the parameter names, evaluated in a
+  restricted namespace (``Constraint("p1 >= p2")``), or
+* an arbitrary callable taking a configuration dictionary
+  (``Constraint.from_callable(lambda cfg: cfg["p1"] >= cfg["p2"], ["p1", "p2"])``).
+
+Each constraint records the set of parameter names it involves; the
+Chain-of-Trees builder uses those sets to group co-dependent parameters.
+"""
+
+from __future__ import annotations
+
+import ast
+import math
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+__all__ = ["Constraint", "ConstraintError", "extract_variables"]
+
+
+class ConstraintError(ValueError):
+    """Raised when a constraint expression is malformed."""
+
+
+_ALLOWED_FUNCTIONS: dict[str, Any] = {
+    "abs": abs,
+    "min": min,
+    "max": max,
+    "len": len,
+    "log": math.log,
+    "log2": math.log2,
+    "sqrt": math.sqrt,
+    "floor": math.floor,
+    "ceil": math.ceil,
+    "pow": pow,
+}
+
+_ALLOWED_NODE_TYPES = (
+    ast.Expression,
+    ast.BoolOp, ast.And, ast.Or,
+    ast.UnaryOp, ast.Not, ast.USub, ast.UAdd,
+    ast.BinOp, ast.Add, ast.Sub, ast.Mult, ast.Div, ast.FloorDiv, ast.Mod, ast.Pow,
+    ast.Compare, ast.Eq, ast.NotEq, ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.In, ast.NotIn,
+    ast.Call, ast.Name, ast.Load, ast.Constant,
+    ast.Tuple, ast.List, ast.Subscript, ast.Index, ast.Slice,
+    ast.IfExp,
+)
+
+
+def _validate_expression(tree: ast.Expression) -> None:
+    for node in ast.walk(tree):
+        if not isinstance(node, _ALLOWED_NODE_TYPES):
+            raise ConstraintError(
+                f"disallowed syntax {type(node).__name__!r} in constraint expression"
+            )
+        if isinstance(node, ast.Call):
+            if not isinstance(node.func, ast.Name) or node.func.id not in _ALLOWED_FUNCTIONS:
+                raise ConstraintError("only whitelisted functions may be called in constraints")
+
+
+def extract_variables(expression: str) -> frozenset[str]:
+    """Return the parameter names referenced by a constraint expression."""
+    tree = ast.parse(expression, mode="eval")
+    names = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name) and node.id not in _ALLOWED_FUNCTIONS:
+            names.add(node.id)
+    return frozenset(names)
+
+
+class Constraint:
+    """A boolean predicate over a configuration dictionary."""
+
+    def __init__(self, expression: str, name: str | None = None) -> None:
+        try:
+            tree = ast.parse(expression, mode="eval")
+        except SyntaxError as exc:
+            raise ConstraintError(f"invalid constraint expression {expression!r}: {exc}") from exc
+        _validate_expression(tree)
+        self.expression = expression
+        self.name = name or expression
+        self.variables = extract_variables(expression)
+        if not self.variables:
+            raise ConstraintError(f"constraint {expression!r} references no parameters")
+        self._code = compile(tree, filename="<constraint>", mode="eval")
+        self._callable: Callable[[Mapping[str, Any]], bool] | None = None
+
+    @classmethod
+    def from_callable(
+        cls,
+        func: Callable[[Mapping[str, Any]], bool],
+        variables: Sequence[str],
+        name: str | None = None,
+    ) -> "Constraint":
+        """Wrap an arbitrary predicate; ``variables`` lists the parameters it reads."""
+        if not variables:
+            raise ConstraintError("callable constraints must declare their variables")
+        obj = cls.__new__(cls)
+        obj.expression = name or getattr(func, "__name__", "<callable>")
+        obj.name = name or obj.expression
+        obj.variables = frozenset(variables)
+        obj._code = None
+        obj._callable = func
+        return obj
+
+    def evaluate(self, configuration: Mapping[str, Any]) -> bool:
+        """Evaluate the constraint; missing variables raise ``KeyError``."""
+        if self._callable is not None:
+            return bool(self._callable(configuration))
+        namespace = dict(_ALLOWED_FUNCTIONS)
+        for var in self.variables:
+            namespace[var] = configuration[var]
+        return bool(eval(self._code, {"__builtins__": {}}, namespace))  # noqa: S307
+
+    def is_applicable(self, configuration: Mapping[str, Any]) -> bool:
+        """Whether all referenced parameters are present in ``configuration``."""
+        return all(var in configuration for var in self.variables)
+
+    def __call__(self, configuration: Mapping[str, Any]) -> bool:
+        return self.evaluate(configuration)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Constraint({self.expression!r})"
+
+
+def group_codependent(
+    parameter_names: Iterable[str], constraints: Iterable[Constraint]
+) -> list[list[str]]:
+    """Partition parameters into groups connected by shared constraints.
+
+    Parameters that never co-occur in a constraint end up in singleton
+    groups; each group with more than one member (or any constraint touching
+    it) becomes a tree of the Chain-of-Trees.
+    """
+    names = list(parameter_names)
+    index = {n: i for i, n in enumerate(names)}
+    parent = list(range(len(names)))
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    def union(i: int, j: int) -> None:
+        ri, rj = find(i), find(j)
+        if ri != rj:
+            parent[rj] = ri
+
+    for constraint in constraints:
+        involved = [v for v in constraint.variables if v in index]
+        for a, b in zip(involved, involved[1:]):
+            union(index[a], index[b])
+
+    groups: dict[int, list[str]] = {}
+    for name in names:
+        groups.setdefault(find(index[name]), []).append(name)
+    # keep the original parameter ordering inside and across groups
+    ordered = sorted(groups.values(), key=lambda grp: index[grp[0]])
+    for grp in ordered:
+        grp.sort(key=lambda n: index[n])
+    return ordered

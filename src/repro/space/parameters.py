@@ -1,0 +1,483 @@
+"""Parameter types for autotuning search spaces.
+
+BaCO (Sec. 4.1) supports the full RIPOC set of parameter types plus
+permutations:
+
+* :class:`RealParameter` -- continuous parameters (e.g. a probability).
+* :class:`IntegerParameter` -- integer parameters (e.g. a tile size).
+* :class:`OrdinalParameter` -- discrete, ordered values (e.g. unroll factors).
+* :class:`CategoricalParameter` -- discrete, unordered values (e.g. a
+  parallelization scheme).
+* :class:`PermutationParameter` -- orderings of ``n`` elements (e.g. loop
+  reorderings).
+
+Each parameter knows how to
+
+* sample a value uniformly at random,
+* measure the *distance* between two of its values (this is what feeds the
+  Gaussian-process kernel, Eq. (2) of the paper),
+* enumerate the *neighbours* of a value (used by the acquisition-function
+  local search, Sec. 3.3),
+* convert values to a numeric *internal* representation used by models that
+  require a vector encoding (e.g. the random forest).
+
+Numeric parameters may carry a ``log`` transformation; the paper observes
+(Sec. 4.1 and 4.2) that tile-size-like parameters behave exponentially and
+that log-transforming them both densifies the search space and produces more
+natural GP distances.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from abc import ABC, abstractmethod
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Parameter",
+    "NumericParameter",
+    "RealParameter",
+    "IntegerParameter",
+    "OrdinalParameter",
+    "CategoricalParameter",
+    "PermutationParameter",
+    "PERMUTATION_METRICS",
+    "kendall_distance",
+    "spearman_distance",
+    "hamming_permutation_distance",
+]
+
+
+class Parameter(ABC):
+    """Abstract base class for all tunable parameters."""
+
+    #: short code used in Table 3 style summaries ("R", "I", "O", "C", "P")
+    type_code = "?"
+
+    def __init__(self, name: str) -> None:
+        if not name or not isinstance(name, str):
+            raise ValueError("parameter name must be a non-empty string")
+        self.name = name
+
+    # -- value handling -------------------------------------------------
+    @abstractmethod
+    def sample(self, rng: np.random.Generator) -> Any:
+        """Draw a value uniformly at random."""
+
+    @abstractmethod
+    def contains(self, value: Any) -> bool:
+        """Return ``True`` if ``value`` is a legal value of this parameter."""
+
+    @abstractmethod
+    def distance(self, a: Any, b: Any) -> float:
+        """Distance between two values, used in the GP kernel."""
+
+    @abstractmethod
+    def neighbours(self, value: Any) -> list[Any]:
+        """Values reachable from ``value`` by a single local-search move."""
+
+    @abstractmethod
+    def to_numeric(self, value: Any) -> float | tuple[float, ...]:
+        """Numeric encoding used by vector-based models (random forests)."""
+
+    # -- cardinality ----------------------------------------------------
+    @property
+    def is_discrete(self) -> bool:
+        return self.cardinality() is not None
+
+    def cardinality(self) -> int | None:
+        """Number of possible values, or ``None`` for continuous parameters."""
+        return None
+
+    def values_list(self) -> list[Any]:
+        """All possible values for discrete parameters."""
+        raise TypeError(f"{type(self).__name__} is not enumerable")
+
+    # -- misc -----------------------------------------------------------
+    def canonical(self, value: Any) -> Any:
+        """Return the canonical representation of ``value``."""
+        return value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class NumericParameter(Parameter):
+    """Shared behaviour for real / integer / ordinal parameters.
+
+    The distance between two values is the absolute difference, optionally in
+    log space when ``transform="log"`` (Sec. 4.1: tile sizes 2 and 4 should
+    be about as similar as 512 and 1024).
+    """
+
+    def __init__(self, name: str, transform: str = "linear") -> None:
+        super().__init__(name)
+        if transform not in ("linear", "log"):
+            raise ValueError(f"unknown transform {transform!r}")
+        self.transform = transform
+
+    def _warp(self, value: float) -> float:
+        if self.transform == "log":
+            if value <= 0:
+                raise ValueError(
+                    f"log transform requires positive values, got {value} "
+                    f"for parameter {self.name!r}"
+                )
+            return math.log(value)
+        return float(value)
+
+    def distance(self, a: Any, b: Any) -> float:
+        return abs(self._warp(a) - self._warp(b))
+
+    def to_numeric(self, value: Any) -> float:
+        return self._warp(value)
+
+
+class RealParameter(NumericParameter):
+    """A continuous parameter on the interval ``[low, high]``."""
+
+    type_code = "R"
+
+    def __init__(
+        self,
+        name: str,
+        low: float,
+        high: float,
+        transform: str = "linear",
+        default: float | None = None,
+    ) -> None:
+        super().__init__(name, transform)
+        if not low < high:
+            raise ValueError(f"low must be < high, got [{low}, {high}]")
+        if transform == "log" and low <= 0:
+            raise ValueError("log-transformed real parameters require low > 0")
+        self.low = float(low)
+        self.high = float(high)
+        self.default = float(default) if default is not None else (low + high) / 2.0
+
+    def sample(self, rng: np.random.Generator) -> float:
+        if self.transform == "log":
+            return float(np.exp(rng.uniform(math.log(self.low), math.log(self.high))))
+        return float(rng.uniform(self.low, self.high))
+
+    def contains(self, value: Any) -> bool:
+        try:
+            v = float(value)
+        except (TypeError, ValueError):
+            return False
+        return self.low <= v <= self.high
+
+    def neighbours(self, value: Any) -> list[float]:
+        """Local moves: +/- 5% and +/- 20% of the (possibly log) range."""
+        lo, hi = self._warp(self.low), self._warp(self.high)
+        v = self._warp(value)
+        span = hi - lo
+        out = []
+        for step in (-0.2, -0.05, 0.05, 0.2):
+            w = min(hi, max(lo, v + step * span))
+            cand = math.exp(w) if self.transform == "log" else w
+            if not math.isclose(cand, float(value)):
+                out.append(float(cand))
+        return out
+
+    def cardinality(self) -> int | None:
+        return None
+
+
+class IntegerParameter(NumericParameter):
+    """An integer parameter on the inclusive range ``[low, high]``."""
+
+    type_code = "I"
+
+    def __init__(
+        self,
+        name: str,
+        low: int,
+        high: int,
+        transform: str = "linear",
+        default: int | None = None,
+    ) -> None:
+        super().__init__(name, transform)
+        if not int(low) <= int(high):
+            raise ValueError(f"low must be <= high, got [{low}, {high}]")
+        if transform == "log" and low <= 0:
+            raise ValueError("log-transformed integer parameters require low > 0")
+        self.low = int(low)
+        self.high = int(high)
+        self.default = int(default) if default is not None else self.low
+
+    def sample(self, rng: np.random.Generator) -> int:
+        return int(rng.integers(self.low, self.high + 1))
+
+    def contains(self, value: Any) -> bool:
+        try:
+            v = int(value)
+        except (TypeError, ValueError):
+            return False
+        return v == value and self.low <= v <= self.high
+
+    def neighbours(self, value: Any) -> list[int]:
+        v = int(value)
+        out = set()
+        for delta in (-1, 1):
+            cand = v + delta
+            if self.low <= cand <= self.high:
+                out.add(cand)
+        # larger jumps for wide ranges so local search is not crippled
+        span = self.high - self.low
+        if span > 16:
+            for delta in (-span // 8, span // 8):
+                cand = v + delta
+                if self.low <= cand <= self.high and cand != v:
+                    out.add(int(cand))
+        return sorted(out)
+
+    def cardinality(self) -> int:
+        return self.high - self.low + 1
+
+    def values_list(self) -> list[int]:
+        return list(range(self.low, self.high + 1))
+
+    def canonical(self, value: Any) -> int:
+        return int(value)
+
+
+class OrdinalParameter(NumericParameter):
+    """A discrete parameter whose values have a natural order.
+
+    Typical examples are power-of-two tile sizes or unroll factors.  Values
+    must be numeric and are kept sorted; the distance is the (possibly log)
+    difference of *values*, not of ranks.
+    """
+
+    type_code = "O"
+
+    def __init__(
+        self,
+        name: str,
+        values: Sequence[float],
+        transform: str = "linear",
+        default: float | None = None,
+    ) -> None:
+        super().__init__(name, transform)
+        if len(values) == 0:
+            raise ValueError("ordinal parameter needs at least one value")
+        vals = sorted(set(float(v) if not float(v).is_integer() else int(v) for v in values))
+        if transform == "log" and vals[0] <= 0:
+            raise ValueError("log-transformed ordinal parameters require positive values")
+        self.values = vals
+        self.default = default if default is not None else vals[0]
+        if self.default not in vals:
+            raise ValueError(f"default {default!r} not among ordinal values")
+        self._index = {v: i for i, v in enumerate(vals)}
+
+    def sample(self, rng: np.random.Generator) -> Any:
+        return self.values[int(rng.integers(len(self.values)))]
+
+    def contains(self, value: Any) -> bool:
+        try:
+            return self.canonical(value) in self._index
+        except (TypeError, ValueError):
+            return False
+
+    def canonical(self, value: Any) -> Any:
+        v = float(value)
+        return int(v) if v.is_integer() else v
+
+    def neighbours(self, value: Any) -> list[Any]:
+        idx = self._index[self.canonical(value)]
+        out = []
+        if idx > 0:
+            out.append(self.values[idx - 1])
+        if idx + 1 < len(self.values):
+            out.append(self.values[idx + 1])
+        return out
+
+    def cardinality(self) -> int:
+        return len(self.values)
+
+    def values_list(self) -> list[Any]:
+        return list(self.values)
+
+    def index_of(self, value: Any) -> int:
+        return self._index[self.canonical(value)]
+
+
+class CategoricalParameter(Parameter):
+    """A discrete parameter with no inherent order.
+
+    Distance is the Hamming distance (Sec. 4.1): 0 if equal, 1 otherwise.
+    """
+
+    type_code = "C"
+
+    def __init__(self, name: str, values: Sequence[Any], default: Any | None = None) -> None:
+        super().__init__(name)
+        vals = list(dict.fromkeys(values))
+        if len(vals) == 0:
+            raise ValueError("categorical parameter needs at least one value")
+        self.values = vals
+        self.default = default if default is not None else vals[0]
+        if self.default not in vals:
+            raise ValueError(f"default {default!r} not among categorical values")
+        self._index = {v: i for i, v in enumerate(vals)}
+
+    def sample(self, rng: np.random.Generator) -> Any:
+        return self.values[int(rng.integers(len(self.values)))]
+
+    def contains(self, value: Any) -> bool:
+        return value in self._index
+
+    def distance(self, a: Any, b: Any) -> float:
+        return 0.0 if a == b else 1.0
+
+    def neighbours(self, value: Any) -> list[Any]:
+        return [v for v in self.values if v != value]
+
+    def to_numeric(self, value: Any) -> float:
+        return float(self._index[value])
+
+    def cardinality(self) -> int:
+        return len(self.values)
+
+    def values_list(self) -> list[Any]:
+        return list(self.values)
+
+    def index_of(self, value: Any) -> int:
+        return self._index[value]
+
+
+# ---------------------------------------------------------------------------
+# permutation semimetrics (Fig. 3 of the paper)
+# ---------------------------------------------------------------------------
+
+def kendall_distance(a: Sequence[int], b: Sequence[int]) -> float:
+    """Number of discordant pairs between two permutations."""
+    a = tuple(a)
+    b = tuple(b)
+    n = len(a)
+    count = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            if (a[i] < a[j]) != (b[i] < b[j]):
+                count += 1
+    return float(count)
+
+
+def spearman_distance(a: Sequence[int], b: Sequence[int]) -> float:
+    """Sum of squared element displacements between two permutations."""
+    return float(sum((int(x) - int(y)) ** 2 for x, y in zip(a, b)))
+
+
+def hamming_permutation_distance(a: Sequence[int], b: Sequence[int]) -> float:
+    """Number of positions whose element differs between the permutations."""
+    return float(sum(1 for x, y in zip(a, b) if x != y))
+
+
+def _naive_distance(a: Sequence[int], b: Sequence[int]) -> float:
+    """Treat permutations as categoricals: 0 if identical else 1."""
+    return 0.0 if tuple(a) == tuple(b) else 1.0
+
+
+PERMUTATION_METRICS = {
+    "spearman": spearman_distance,
+    "kendall": kendall_distance,
+    "hamming": hamming_permutation_distance,
+    "naive": _naive_distance,
+}
+
+
+class PermutationParameter(Parameter):
+    """A parameter whose value is a permutation of ``n`` elements.
+
+    Values are tuples containing each integer in ``range(n)`` exactly once.
+    The default semimetric is Spearman's rank correlation which the paper's
+    ablation (Fig. 9) finds to perform best; Kendall, Hamming and the naive
+    categorical treatment are also available.
+    """
+
+    type_code = "P"
+
+    def __init__(
+        self,
+        name: str,
+        n_elements: int,
+        metric: str = "spearman",
+        default: Sequence[int] | None = None,
+    ) -> None:
+        super().__init__(name)
+        if n_elements < 1:
+            raise ValueError("permutation needs at least one element")
+        if metric not in PERMUTATION_METRICS:
+            raise ValueError(
+                f"unknown permutation metric {metric!r}; "
+                f"choose from {sorted(PERMUTATION_METRICS)}"
+            )
+        self.n_elements = int(n_elements)
+        self.metric = metric
+        self._distance_fn = PERMUTATION_METRICS[metric]
+        self.default = tuple(default) if default is not None else tuple(range(n_elements))
+        if not self.contains(self.default):
+            raise ValueError(f"default {default!r} is not a permutation of {n_elements} elements")
+
+    def sample(self, rng: np.random.Generator) -> tuple[int, ...]:
+        return tuple(int(i) for i in rng.permutation(self.n_elements))
+
+    def contains(self, value: Any) -> bool:
+        try:
+            t = tuple(int(v) for v in value)
+        except (TypeError, ValueError):
+            return False
+        return len(t) == self.n_elements and sorted(t) == list(range(self.n_elements))
+
+    def canonical(self, value: Any) -> tuple[int, ...]:
+        return tuple(int(v) for v in value)
+
+    def distance(self, a: Any, b: Any) -> float:
+        return self._distance_fn(self.canonical(a), self.canonical(b))
+
+    def max_distance(self) -> float:
+        """Largest possible distance under the configured metric."""
+        identity = tuple(range(self.n_elements))
+        reversed_perm = tuple(reversed(identity))
+        if self.metric == "naive":
+            return 1.0
+        return self._distance_fn(identity, reversed_perm)
+
+    def neighbours(self, value: Any) -> list[tuple[int, ...]]:
+        """All permutations reachable by swapping two adjacent elements."""
+        perm = list(self.canonical(value))
+        out = []
+        for i in range(len(perm) - 1):
+            nxt = perm.copy()
+            nxt[i], nxt[i + 1] = nxt[i + 1], nxt[i]
+            out.append(tuple(nxt))
+        return out
+
+    def all_swaps(self, value: Any) -> list[tuple[int, ...]]:
+        """All permutations reachable by swapping any two elements."""
+        perm = list(self.canonical(value))
+        out = []
+        for i in range(len(perm)):
+            for j in range(i + 1, len(perm)):
+                nxt = perm.copy()
+                nxt[i], nxt[j] = nxt[j], nxt[i]
+                out.append(tuple(nxt))
+        return out
+
+    def to_numeric(self, value: Any) -> tuple[float, ...]:
+        return tuple(float(v) for v in self.canonical(value))
+
+    def cardinality(self) -> int:
+        return math.factorial(self.n_elements)
+
+    def values_list(self) -> list[tuple[int, ...]]:
+        if self.n_elements > 8:
+            raise TypeError(
+                f"refusing to enumerate {self.n_elements}! permutations; "
+                "use sampling instead"
+            )
+        return [tuple(p) for p in itertools.permutations(range(self.n_elements))]

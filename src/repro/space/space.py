@@ -1,0 +1,317 @@
+"""The :class:`SearchSpace`: parameters + known constraints.
+
+A search space bundles the tunable parameters exposed by a compiler's
+scheduling language together with the *known constraints* relating them.  It
+offers everything the optimizers need:
+
+* feasible random sampling (through the Chain-of-Trees where possible,
+  rejection sampling otherwise),
+* feasibility tests against the known constraints,
+* neighbour enumeration restricted to the feasible region (for the
+  acquisition-function local search),
+* numeric encoding of configurations (for random-forest models),
+* size statistics matching Table 3 of the paper (dense size vs. feasible
+  size).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from .chain_of_trees import ChainOfTrees, FeasibleSetTooLarge, Tree
+from .constraints import Constraint, group_codependent
+from .parameters import Parameter
+
+__all__ = ["SearchSpace", "Configuration", "freeze_configuration"]
+
+#: A configuration is a plain mapping from parameter name to value.
+Configuration = dict[str, Any]
+
+
+def freeze_configuration(configuration: Mapping[str, Any], names: Sequence[str]) -> tuple:
+    """Hashable, order-normalized representation of a configuration."""
+    return tuple(
+        tuple(configuration[n]) if isinstance(configuration[n], (list, tuple)) else configuration[n]
+        for n in names
+    )
+
+
+class SearchSpace:
+    """A constrained, mixed-type autotuning search space."""
+
+    def __init__(
+        self,
+        parameters: Sequence[Parameter],
+        constraints: Sequence[Constraint] = (),
+        build_chain_of_trees: bool = True,
+        max_cot_nodes: int = 2_000_000,
+    ) -> None:
+        names = [p.name for p in parameters]
+        if len(names) != len(set(names)):
+            raise ValueError("duplicate parameter names in search space")
+        self.parameters: list[Parameter] = list(parameters)
+        self.parameter_names: list[str] = names
+        self._by_name: dict[str, Parameter] = {p.name: p for p in parameters}
+        self.constraints: list[Constraint] = list(constraints)
+        for constraint in self.constraints:
+            unknown = constraint.variables - set(names)
+            if unknown:
+                raise ValueError(
+                    f"constraint {constraint.name!r} references unknown parameters {sorted(unknown)}"
+                )
+        self.chain_of_trees: ChainOfTrees | None = None
+        #: constraints not captured by the CoT (evaluated explicitly)
+        self._residual_constraints: list[Constraint] = list(self.constraints)
+        if build_chain_of_trees and self.constraints:
+            self._build_chain_of_trees(max_cot_nodes)
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    def _build_chain_of_trees(self, max_cot_nodes: int) -> None:
+        groups = group_codependent(self.parameter_names, self.constraints)
+        trees: list[Tree] = []
+        captured: list[Constraint] = []
+        for group in groups:
+            group_constraints = [
+                c for c in self.constraints if c.variables <= set(group)
+            ]
+            if not group_constraints:
+                continue
+            group_params = [self._by_name[n] for n in group]
+            if not all(p.is_discrete for p in group_params):
+                continue
+            if any(p.cardinality() > 10_000 for p in group_params):
+                continue
+            try:
+                trees.append(Tree(group_params, group_constraints, max_nodes=max_cot_nodes))
+            except FeasibleSetTooLarge:
+                continue
+            captured.extend(group_constraints)
+        if trees:
+            self.chain_of_trees = ChainOfTrees(trees)
+            captured_set = {id(c) for c in captured}
+            self._residual_constraints = [
+                c for c in self.constraints if id(c) not in captured_set
+            ]
+
+    # ------------------------------------------------------------------
+    # basic queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.parameters)
+
+    def __getitem__(self, name: str) -> Parameter:
+        return self._by_name[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    @property
+    def dimension(self) -> int:
+        """Number of tunable parameters (the "Dim" column of Table 3)."""
+        return len(self.parameters)
+
+    def dense_size(self) -> float:
+        """Cartesian-product size of the space, ``inf`` if any parameter is continuous."""
+        total = 1.0
+        for param in self.parameters:
+            card = param.cardinality()
+            if card is None:
+                return math.inf
+            total *= card
+        return total
+
+    def feasible_size(self, max_exhaustive: int = 2_000_000) -> float:
+        """Number of configurations satisfying the known constraints.
+
+        Uses the Chain-of-Trees counts when all constraints are captured by
+        it; otherwise falls back to exhaustive counting when the dense size
+        is small enough, and to ``nan`` otherwise.
+        """
+        if not self.constraints:
+            return self.dense_size()
+        if self.chain_of_trees is not None and not self._residual_constraints:
+            free = 1.0
+            covered = set(self.chain_of_trees.parameter_names)
+            for param in self.parameters:
+                if param.name in covered:
+                    continue
+                card = param.cardinality()
+                if card is None:
+                    return math.inf
+                free *= card
+            return self.chain_of_trees.n_feasible * free
+        dense = self.dense_size()
+        if dense is math.inf or dense > max_exhaustive:
+            return float("nan")
+        count = 0
+        for config in self.iter_dense():
+            if self.is_feasible(config):
+                count += 1
+        return float(count)
+
+    def iter_dense(self) -> Iterable[Configuration]:
+        """Iterate over the full Cartesian product (discrete spaces only)."""
+        values = [p.values_list() for p in self.parameters]
+
+        def rec(depth: int, partial: Configuration):
+            if depth == len(self.parameters):
+                yield dict(partial)
+                return
+            name = self.parameters[depth].name
+            for value in values[depth]:
+                partial[name] = value
+                yield from rec(depth + 1, partial)
+            partial.pop(name, None)
+
+        yield from rec(0, {})
+
+    # ------------------------------------------------------------------
+    # feasibility
+    # ------------------------------------------------------------------
+    def is_feasible(self, configuration: Mapping[str, Any]) -> bool:
+        """Check the known constraints (hidden constraints are *not* checked here)."""
+        for param in self.parameters:
+            if param.name not in configuration:
+                raise KeyError(f"configuration is missing parameter {param.name!r}")
+            if not param.contains(configuration[param.name]):
+                return False
+        if self.chain_of_trees is not None:
+            if not self.chain_of_trees.contains(configuration):
+                return False
+            for constraint in self._residual_constraints:
+                if not constraint.evaluate(configuration):
+                    return False
+            return True
+        for constraint in self.constraints:
+            if not constraint.evaluate(configuration):
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # sampling
+    # ------------------------------------------------------------------
+    def sample(
+        self,
+        rng: np.random.Generator,
+        n_samples: int = 1,
+        biased_cot: bool = False,
+        max_rejection_rounds: int = 10_000,
+    ) -> list[Configuration]:
+        """Draw ``n_samples`` feasible configurations.
+
+        Constrained discrete groups are sampled through the Chain-of-Trees
+        (uniform over leaves unless ``biased_cot``); remaining constraints are
+        handled by rejection sampling.
+        """
+        samples: list[Configuration] = []
+        covered = (
+            set(self.chain_of_trees.parameter_names) if self.chain_of_trees is not None else set()
+        )
+        attempts = 0
+        while len(samples) < n_samples:
+            attempts += 1
+            if attempts > max_rejection_rounds * max(1, n_samples):
+                raise RuntimeError(
+                    "rejection sampling failed to find feasible configurations; "
+                    "the feasible region may be too sparse"
+                )
+            config: Configuration = {}
+            if self.chain_of_trees is not None:
+                config.update(self.chain_of_trees.sample(rng, biased=biased_cot))
+            for param in self.parameters:
+                if param.name not in covered:
+                    config[param.name] = param.sample(rng)
+            if all(c.evaluate(config) for c in self._residual_constraints):
+                samples.append(config)
+        return samples
+
+    def sample_one(self, rng: np.random.Generator, biased_cot: bool = False) -> Configuration:
+        return self.sample(rng, 1, biased_cot=biased_cot)[0]
+
+    def default_configuration(self) -> Configuration:
+        """The per-parameter defaults (may be infeasible for constrained spaces)."""
+        return {p.name: getattr(p, "default", p.values_list()[0]) for p in self.parameters}
+
+    # ------------------------------------------------------------------
+    # neighbourhoods
+    # ------------------------------------------------------------------
+    def neighbours(
+        self, configuration: Mapping[str, Any], feasible_only: bool = True
+    ) -> list[Configuration]:
+        """All configurations reachable by modifying a single parameter.
+
+        This is the neighbourhood used by BaCO's multi-start local search
+        (Sec. 3.3).  When a parameter belongs to a Chain-of-Trees tree, its
+        candidate values are restricted to those feasible given the other
+        parameters of the same tree, which avoids wasting moves on infeasible
+        configurations.
+        """
+        result: list[Configuration] = []
+        for param in self.parameters:
+            current = configuration[param.name]
+            if (
+                feasible_only
+                and self.chain_of_trees is not None
+                and self.chain_of_trees.covers(param.name)
+            ):
+                candidates = [
+                    v
+                    for v in self.chain_of_trees.feasible_values(param.name, configuration)
+                    if v != param.canonical(current)
+                ]
+            else:
+                candidates = param.neighbours(current)
+            for value in candidates:
+                neighbour = dict(configuration)
+                neighbour[param.name] = value
+                if not feasible_only or self.is_feasible(neighbour):
+                    result.append(neighbour)
+        return result
+
+    # ------------------------------------------------------------------
+    # encodings
+    # ------------------------------------------------------------------
+    def encode(self, configuration: Mapping[str, Any]) -> np.ndarray:
+        """Flat numeric encoding of a configuration (for random forests)."""
+        parts: list[float] = []
+        for param in self.parameters:
+            numeric = param.to_numeric(configuration[param.name])
+            if isinstance(numeric, tuple):
+                parts.extend(numeric)
+            else:
+                parts.append(numeric)
+        return np.asarray(parts, dtype=float)
+
+    def encode_many(self, configurations: Sequence[Mapping[str, Any]]) -> np.ndarray:
+        return np.vstack([self.encode(c) for c in configurations]) if configurations else np.empty((0, 0))
+
+    def freeze(self, configuration: Mapping[str, Any]) -> tuple:
+        """Hashable key for a configuration (used for de-duplication)."""
+        return freeze_configuration(configuration, self.parameter_names)
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def parameter_type_codes(self) -> str:
+        """Short type summary like "O/C/P" used in Table 3."""
+        codes = []
+        for param in self.parameters:
+            if param.type_code not in codes:
+                codes.append(param.type_code)
+        order = {"R": 0, "I": 1, "O": 2, "C": 3, "P": 4}
+        return "/".join(sorted(codes, key=lambda c: order.get(c, 9)))
+
+    def describe(self) -> dict[str, Any]:
+        """Summary statistics in the spirit of Table 3."""
+        return {
+            "dimension": self.dimension,
+            "types": self.parameter_type_codes(),
+            "dense_size": self.dense_size(),
+            "feasible_size": self.feasible_size(),
+            "n_known_constraints": len(self.constraints),
+        }

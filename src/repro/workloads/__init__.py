@@ -1,0 +1,31 @@
+"""Benchmark workloads: the 25 instances of the paper's evaluation (Table 3)."""
+
+from .base import Benchmark, expert_search
+from .hpvm_suite import build_hpvm_benchmark, hpvm_benchmark_names
+from .registry import (
+    FRAMEWORKS,
+    benchmark_names,
+    benchmarks_by_framework,
+    get_benchmark,
+    representative_benchmarks,
+)
+from .rise_suite import RISE_BENCHMARKS, build_rise_benchmark, rise_benchmark_names
+from .taco_suite import TACO_BENCHMARK_TENSORS, build_taco_benchmark, taco_benchmark_names
+
+__all__ = [
+    "Benchmark",
+    "FRAMEWORKS",
+    "RISE_BENCHMARKS",
+    "TACO_BENCHMARK_TENSORS",
+    "benchmark_names",
+    "benchmarks_by_framework",
+    "build_hpvm_benchmark",
+    "build_rise_benchmark",
+    "build_taco_benchmark",
+    "expert_search",
+    "get_benchmark",
+    "hpvm_benchmark_names",
+    "representative_benchmarks",
+    "rise_benchmark_names",
+    "taco_benchmark_names",
+]

@@ -1,0 +1,170 @@
+"""Benchmark definitions: search space + black box + budgets + reference configs.
+
+A :class:`Benchmark` bundles everything the experiment harness needs to
+reproduce one row of Table 3:
+
+* the constrained search space exposed to the autotuner,
+* the black-box evaluator (one of the simulated compiler toolchains),
+* the full evaluation budget (Table 3's last column) and the derived *tiny*
+  (1/3) and *small* (2/3) budgets used in Fig. 5 / Tables 6-8,
+* the default configuration and — where the paper has one — the expert
+  configuration used as the performance reference.
+
+Expert configurations are obtained the way the paper describes the original
+experts working: a careful search over the *conventional* part of the space
+(e.g. keeping the default loop order for TACO, Sec. 5.3 RQ4) — implemented
+here as a deterministic coordinate-descent search with some parameters pinned
+to their default values.  This keeps the expert strong (hard for random
+samplers to reach) while leaving headroom for BaCO to exceed it by exploring
+the unconventional parameters, matching the paper's findings.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Any, Callable, Mapping, Sequence
+
+import numpy as np
+
+from ..core.result import ObjectiveFunction, ObjectiveResult
+from ..space.space import Configuration, SearchSpace
+
+__all__ = ["Benchmark", "expert_search"]
+
+
+@dataclass
+class Benchmark:
+    """One autotuning benchmark instance (a row of Table 3)."""
+
+    name: str
+    framework: str
+    space: SearchSpace
+    evaluator: ObjectiveFunction
+    full_budget: int
+    default_configuration: Configuration | None = None
+    expert_configuration: Configuration | None = None
+    description: str = ""
+
+    # ------------------------------------------------------------------
+    @property
+    def tiny_budget(self) -> int:
+        """1/3 of the full budget (Fig. 5)."""
+        return max(1, self.full_budget // 3)
+
+    @property
+    def small_budget(self) -> int:
+        """2/3 of the full budget (Fig. 5)."""
+        return max(1, (2 * self.full_budget) // 3)
+
+    def budget(self, level: str) -> int:
+        levels = {"tiny": self.tiny_budget, "small": self.small_budget, "full": self.full_budget}
+        if level not in levels:
+            raise KeyError(f"unknown budget level {level!r}; choose from {sorted(levels)}")
+        return levels[level]
+
+    # ------------------------------------------------------------------
+    def evaluate(self, configuration: Mapping[str, Any]) -> ObjectiveResult:
+        return self.evaluator(configuration)
+
+    @cached_property
+    def default_value(self) -> float:
+        """Runtime of the default configuration (``inf`` if infeasible / absent)."""
+        if self.default_configuration is None:
+            return math.inf
+        result = self.evaluator(self.default_configuration)
+        return result.value if result.feasible else math.inf
+
+    @cached_property
+    def expert_value(self) -> float:
+        """Runtime of the expert configuration (``inf`` when the paper has none)."""
+        if self.expert_configuration is None:
+            return math.inf
+        result = self.evaluator(self.expert_configuration)
+        return result.value if result.feasible else math.inf
+
+    @property
+    def has_expert(self) -> bool:
+        return self.expert_configuration is not None and math.isfinite(self.expert_value)
+
+    @property
+    def reference_value(self) -> float:
+        """Expert runtime when available, default runtime otherwise.
+
+        The HPVM2FPGA benchmarks have no expert configuration (Sec. 5.1); the
+        paper then reports performance relative to the best configuration
+        found, but for normalization purposes the default is the stable
+        reference we expose here.
+        """
+        return self.expert_value if self.has_expert else self.default_value
+
+    # ------------------------------------------------------------------
+    def describe(self) -> dict[str, Any]:
+        """Table 3-style row."""
+        stats = self.space.describe()
+        constraint_kinds = []
+        if self.space.constraints:
+            constraint_kinds.append("K")
+        if getattr(self.evaluator, "has_hidden_constraints", False):
+            constraint_kinds.append("H")
+        return {
+            "benchmark": self.name,
+            "framework": self.framework,
+            "dimension": stats["dimension"],
+            "types": stats["types"],
+            "constraints": "/".join(constraint_kinds),
+            "dense_size": stats["dense_size"],
+            "feasible_size": stats["feasible_size"],
+            "full_budget": self.full_budget,
+        }
+
+
+def expert_search(
+    space: SearchSpace,
+    evaluator: Callable[[Mapping[str, Any]], ObjectiveResult],
+    start: Configuration,
+    pinned: Sequence[str] = (),
+    max_rounds: int = 6,
+) -> Configuration:
+    """Deterministic coordinate descent standing in for the human expert.
+
+    Starting from ``start``, repeatedly sweeps every non-pinned parameter over
+    the values feasible given the rest of the configuration and keeps the best
+    one, until a full round makes no improvement.  Parameters named in
+    ``pinned`` are never changed — this is how we model the expert "only
+    considering the default loop ordering".
+    """
+    if not space.is_feasible(start):
+        raise ValueError("expert search must start from a feasible configuration")
+    current = dict(start)
+    result = evaluator(current)
+    current_value = result.value if result.feasible else math.inf
+
+    for _ in range(max_rounds):
+        improved = False
+        for param in space.parameters:
+            if param.name in pinned:
+                continue
+            cot = space.chain_of_trees
+            if cot is not None and cot.covers(param.name):
+                candidates = cot.feasible_values(param.name, current)
+            elif param.is_discrete and param.cardinality() <= 4096:
+                candidates = param.values_list()
+            else:
+                candidates = param.neighbours(current[param.name])
+            for value in candidates:
+                if value == current[param.name]:
+                    continue
+                candidate = dict(current)
+                candidate[param.name] = value
+                if not space.is_feasible(candidate):
+                    continue
+                outcome = evaluator(candidate)
+                if outcome.feasible and outcome.value < current_value:
+                    current, current_value = candidate, outcome.value
+                    improved = True
+        if not improved:
+            break
+    return current

@@ -1,0 +1,76 @@
+"""HPVM2FPGA benchmark definitions (Table 3, bottom block).
+
+Three benchmarks from the HPVM2FPGA paper: Breadth-First Search (BFS) and
+PreEuler from the Rodinia suite, and the ILLIXR 3-D spatial audio encoder.
+The parameter spaces are generated from the structure of each program (one
+unroll factor per loop, one fusion flag per fusable kernel pair, one
+privatization flag per candidate argument), which matches how HPVM2FPGA
+derives its design space from a static analysis of the IR.  Most parameters
+are boolean; all benchmarks carry hidden resource / scheduling constraints
+and — as in the paper — there is no expert configuration, only the default
+(no transformations applied).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..compilers.hpvm2fpga import FPGA_BENCHMARKS, HpvmFpgaKernel
+from ..space.parameters import CategoricalParameter, OrdinalParameter
+from ..space.space import SearchSpace
+from .base import Benchmark
+
+__all__ = ["hpvm_benchmark_names", "build_hpvm_benchmark"]
+
+#: full evaluation budgets from Table 3
+_FULL_BUDGETS = {"bfs": 20, "audio": 60, "preeuler": 60}
+
+#: unroll factors explored per loop (integers, exponential by nature)
+_UNROLL_FACTORS = {
+    "bfs": [1, 2, 4, 8],
+    "audio": [1, 2, 4, 8],
+    "preeuler": [1, 2, 4, 8, 16],
+}
+
+
+def _build_space(benchmark: str) -> SearchSpace:
+    spec = FPGA_BENCHMARKS[benchmark]
+    factors = _UNROLL_FACTORS[benchmark]
+    parameters = []
+    for loop in spec.loops:
+        parameters.append(
+            OrdinalParameter(f"unroll_{loop.name}", factors, transform="log", default=1)
+        )
+    for pair_index in range(len(spec.fusable)):
+        parameters.append(CategoricalParameter(f"fuse_{pair_index}", [0, 1], default=0))
+    for flag, _saving, _brams in spec.privatizable:
+        parameters.append(CategoricalParameter(flag, [0, 1], default=0))
+    return SearchSpace(parameters)
+
+
+def hpvm_benchmark_names() -> list[str]:
+    """Names of the 3 HPVM2FPGA benchmarks, e.g. ``hpvm_bfs``."""
+    return [f"hpvm_{name}" for name in sorted(_FULL_BUDGETS)]
+
+
+@lru_cache(maxsize=None)
+def build_hpvm_benchmark(benchmark: str) -> Benchmark:
+    """Construct one HPVM2FPGA benchmark (cached)."""
+    if benchmark not in FPGA_BENCHMARKS:
+        raise KeyError(
+            f"unknown HPVM2FPGA benchmark {benchmark!r}; available: {sorted(FPGA_BENCHMARKS)}"
+        )
+    space = _build_space(benchmark)
+    kernel = HpvmFpgaKernel(benchmark)
+    kernel.has_hidden_constraints = True
+    default = space.default_configuration()
+    return Benchmark(
+        name=f"hpvm_{benchmark}",
+        framework="HPVM2FPGA",
+        space=space,
+        evaluator=kernel,
+        full_budget=_FULL_BUDGETS[benchmark],
+        default_configuration=default,
+        expert_configuration=None,
+        description=f"HPVM2FPGA {benchmark} design-space exploration",
+    )

@@ -1,0 +1,75 @@
+"""Central benchmark registry: name -> :class:`Benchmark`.
+
+Benchmark names follow ``<framework>_<kernel>[_<dataset>]``:
+
+* ``taco_spmm_scircuit``, ``taco_ttv_facebook``, ... (15 instances)
+* ``rise_mm_gpu``, ``rise_stencil_gpu``, ... (7 instances)
+* ``hpvm_bfs``, ``hpvm_audio``, ``hpvm_preeuler`` (3 instances)
+
+Use :func:`benchmark_names` to enumerate, :func:`get_benchmark` to construct
+(construction is cached; it includes the expert-configuration search), and
+:func:`benchmarks_by_framework` for the per-framework groups used by Fig. 5.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from .base import Benchmark
+from .hpvm_suite import build_hpvm_benchmark, hpvm_benchmark_names
+from .rise_suite import build_rise_benchmark, rise_benchmark_names
+from .taco_suite import TACO_BENCHMARK_TENSORS, build_taco_benchmark, taco_benchmark_names
+
+__all__ = [
+    "FRAMEWORKS",
+    "benchmark_names",
+    "benchmarks_by_framework",
+    "get_benchmark",
+    "representative_benchmarks",
+]
+
+FRAMEWORKS = ("TACO", "RISE & ELEVATE", "HPVM2FPGA")
+
+
+def benchmark_names() -> list[str]:
+    """All benchmark instance names in paper order (TACO, RISE, HPVM2FPGA)."""
+    return taco_benchmark_names() + rise_benchmark_names() + hpvm_benchmark_names()
+
+
+def benchmarks_by_framework() -> dict[str, list[str]]:
+    """Benchmark names grouped by compiler framework."""
+    return {
+        "TACO": taco_benchmark_names(),
+        "RISE & ELEVATE": rise_benchmark_names(),
+        "HPVM2FPGA": hpvm_benchmark_names(),
+    }
+
+
+def representative_benchmarks() -> dict[str, str]:
+    """The per-framework representative kernels plotted in Fig. 6."""
+    return {
+        "TACO": "taco_spmm_scircuit",
+        "RISE & ELEVATE": "rise_mm_gpu",
+        "HPVM2FPGA": "hpvm_audio",
+    }
+
+
+@lru_cache(maxsize=None)
+def get_benchmark(name: str) -> Benchmark:
+    """Look up (and lazily build) a benchmark by its registry name."""
+    if name.startswith("taco_"):
+        remainder = name[len("taco_"):]
+        for expression, tensors in TACO_BENCHMARK_TENSORS.items():
+            prefix = expression + "_"
+            if remainder.startswith(prefix):
+                tensor = remainder[len(prefix):]
+                if tensor in tensors:
+                    return build_taco_benchmark(expression, tensor)
+        raise KeyError(f"unknown TACO benchmark {name!r}")
+    if name.startswith("rise_"):
+        return build_rise_benchmark(name[len("rise_"):])
+    if name.startswith("hpvm_"):
+        return build_hpvm_benchmark(name[len("hpvm_"):])
+    raise KeyError(
+        f"unknown benchmark {name!r}; see repro.workloads.benchmark_names() for options"
+    )

@@ -1,0 +1,218 @@
+"""RISE & ELEVATE benchmark definitions (Table 3, middle block).
+
+Seven benchmarks spanning dense linear algebra, stencils, and image
+processing.  MM_CPU runs on the CPU cost model and exposes a loop-order
+permutation; the remaining six run on the K80 GPU cost model with ordinal
+(power-of-two) parameters, divisibility / work-group-size known constraints,
+and — for MM_GPU, Scal_GPU and K-means_GPU — hidden shared-memory / register
+constraints.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..compilers.rise import RiseCpuKernel, RiseGpuKernel
+from ..space.constraints import Constraint
+from ..space.parameters import OrdinalParameter, PermutationParameter
+from ..space.space import SearchSpace
+from .base import Benchmark, expert_search
+
+__all__ = ["rise_benchmark_names", "build_rise_benchmark", "RISE_BENCHMARKS"]
+
+_POW2 = lambda lo, hi: [2**i for i in range(lo, hi + 1)]  # noqa: E731
+
+#: full evaluation budgets from Table 3
+_FULL_BUDGETS = {
+    "mm_cpu": 100,
+    "mm_gpu": 120,
+    "asum_gpu": 60,
+    "scal_gpu": 60,
+    "kmeans_gpu": 60,
+    "harris_gpu": 100,
+    "stencil_gpu": 60,
+}
+
+RISE_BENCHMARKS = tuple(sorted(_FULL_BUDGETS))
+
+
+def _mm_cpu() -> tuple[SearchSpace, RiseCpuKernel, dict, tuple[str, ...]]:
+    parameters = [
+        OrdinalParameter("ts0", _POW2(4, 9), transform="log", default=32),
+        OrdinalParameter("ts1", _POW2(4, 9), transform="log", default=32),
+        OrdinalParameter("tk", _POW2(4, 9), transform="log", default=32),
+        OrdinalParameter("vw", _POW2(0, 4), transform="log", default=4),
+        PermutationParameter("permutation", 3),
+    ]
+    constraints = [
+        Constraint("ts0 * tk <= 16384"),
+        Constraint("ts1 * tk <= 16384"),
+        Constraint("ts1 >= vw"),
+    ]
+    space = SearchSpace(parameters, constraints)
+    kernel = RiseCpuKernel()
+    kernel.has_hidden_constraints = True
+    default = space.default_configuration()
+    return space, kernel, default, ("permutation",)
+
+
+def _mm_gpu() -> tuple[SearchSpace, RiseGpuKernel, dict, tuple[str, ...]]:
+    parameters = [
+        OrdinalParameter("ls0", _POW2(0, 8), transform="log", default=32),
+        OrdinalParameter("ls1", _POW2(0, 8), transform="log", default=4),
+        OrdinalParameter("ts0", _POW2(2, 7), transform="log", default=32),
+        OrdinalParameter("ts1", _POW2(2, 7), transform="log", default=32),
+        OrdinalParameter("tk", _POW2(0, 6), transform="log", default=8),
+        OrdinalParameter("vw", _POW2(0, 3), transform="log", default=1),
+        OrdinalParameter("sq0", _POW2(0, 5), transform="log", default=1),
+        OrdinalParameter("sq1", _POW2(0, 5), transform="log", default=1),
+        OrdinalParameter("split", _POW2(0, 6), transform="log", default=1),
+        OrdinalParameter("swizzle", _POW2(0, 3), transform="log", default=1),
+    ]
+    constraints = [
+        Constraint("ls0 * ls1 <= 1024"),
+        Constraint("ts0 % ls0 == 0"),
+        Constraint("ts1 % ls1 == 0"),
+    ]
+    space = SearchSpace(parameters, constraints)
+    kernel = RiseGpuKernel("mm_gpu")
+    kernel.has_hidden_constraints = True
+    default = space.default_configuration()
+    default.update({"ls0": 32, "ls1": 4, "ts0": 32, "ts1": 32})
+    return space, kernel, default, ("vw", "swizzle")
+
+
+def _asum_gpu() -> tuple[SearchSpace, RiseGpuKernel, dict, tuple[str, ...]]:
+    parameters = [
+        OrdinalParameter("ls0", _POW2(5, 10), transform="log", default=128),
+        OrdinalParameter("gs0", _POW2(10, 20), transform="log", default=2**15),
+        OrdinalParameter("split", _POW2(1, 7), transform="log", default=2),
+        OrdinalParameter("sq0", _POW2(0, 6), transform="log", default=1),
+        OrdinalParameter("vw", _POW2(0, 3), transform="log", default=1),
+    ]
+    constraints = [
+        Constraint("gs0 >= ls0"),
+        Constraint("ls0 * sq0 <= 16384"),
+    ]
+    space = SearchSpace(parameters, constraints)
+    kernel = RiseGpuKernel("asum_gpu")
+    kernel.has_hidden_constraints = False
+    default = space.default_configuration()
+    return space, kernel, default, ("vw",)
+
+
+def _scal_gpu() -> tuple[SearchSpace, RiseGpuKernel, dict, tuple[str, ...]]:
+    parameters = [
+        OrdinalParameter("ls0", _POW2(0, 10), transform="log", default=32),
+        OrdinalParameter("ls1", _POW2(0, 10), transform="log", default=1),
+        OrdinalParameter("gs0", _POW2(5, 15), transform="log", default=2**10),
+        OrdinalParameter("gs1", _POW2(0, 10), transform="log", default=1),
+        OrdinalParameter("sq0", _POW2(0, 6), transform="log", default=1),
+        OrdinalParameter("sq1", _POW2(0, 6), transform="log", default=1),
+        OrdinalParameter("vw", _POW2(0, 3), transform="log", default=1),
+    ]
+    constraints = [
+        Constraint("ls0 * ls1 <= 1024"),
+        Constraint("gs0 >= ls0"),
+        Constraint("gs1 >= ls1"),
+    ]
+    space = SearchSpace(parameters, constraints)
+    kernel = RiseGpuKernel("scal_gpu")
+    kernel.has_hidden_constraints = True
+    default = space.default_configuration()
+    return space, kernel, default, ("vw", "sq1")
+
+
+def _kmeans_gpu() -> tuple[SearchSpace, RiseGpuKernel, dict, tuple[str, ...]]:
+    parameters = [
+        OrdinalParameter("ls0", _POW2(0, 10), transform="log", default=32),
+        OrdinalParameter("ls1", _POW2(0, 6), transform="log", default=1),
+        OrdinalParameter("sq0", _POW2(0, 6), transform="log", default=1),
+        OrdinalParameter("vw", _POW2(0, 3), transform="log", default=1),
+    ]
+    constraints = [Constraint("ls0 * ls1 <= 1024")]
+    space = SearchSpace(parameters, constraints)
+    kernel = RiseGpuKernel("kmeans_gpu")
+    kernel.has_hidden_constraints = True
+    default = space.default_configuration()
+    return space, kernel, default, ()
+
+
+def _harris_gpu() -> tuple[SearchSpace, RiseGpuKernel, dict, tuple[str, ...]]:
+    parameters = [
+        OrdinalParameter("ls0", _POW2(0, 8), transform="log", default=32),
+        OrdinalParameter("ls1", _POW2(0, 8), transform="log", default=4),
+        OrdinalParameter("ts0", _POW2(2, 8), transform="log", default=32),
+        OrdinalParameter("ts1", _POW2(2, 8), transform="log", default=32),
+        OrdinalParameter("vw", _POW2(0, 3), transform="log", default=1),
+        OrdinalParameter("sq0", _POW2(0, 5), transform="log", default=1),
+        OrdinalParameter("split", _POW2(0, 6), transform="log", default=1),
+    ]
+    constraints = [
+        Constraint("ls0 * ls1 <= 1024"),
+        Constraint("ts0 % ls0 == 0"),
+        Constraint("ts1 % ls1 == 0"),
+    ]
+    space = SearchSpace(parameters, constraints)
+    kernel = RiseGpuKernel("harris_gpu")
+    kernel.has_hidden_constraints = False
+    default = space.default_configuration()
+    default.update({"ls0": 32, "ls1": 4, "ts0": 32, "ts1": 32})
+    return space, kernel, default, ("vw",)
+
+
+def _stencil_gpu() -> tuple[SearchSpace, RiseGpuKernel, dict, tuple[str, ...]]:
+    parameters = [
+        OrdinalParameter("ls0", _POW2(0, 6), transform="log", default=32),
+        OrdinalParameter("ls1", _POW2(0, 6), transform="log", default=4),
+        OrdinalParameter("ts0", _POW2(2, 8), transform="log", default=32),
+        OrdinalParameter("ts1", _POW2(2, 8), transform="log", default=32),
+    ]
+    constraints = [
+        Constraint("ls0 * ls1 <= 1024"),
+        Constraint("ts0 % ls0 == 0"),
+        Constraint("ts1 % ls1 == 0"),
+    ]
+    space = SearchSpace(parameters, constraints)
+    kernel = RiseGpuKernel("stencil_gpu")
+    kernel.has_hidden_constraints = False
+    default = space.default_configuration()
+    default.update({"ls0": 32, "ls1": 4, "ts0": 32, "ts1": 32})
+    return space, kernel, default, ()
+
+
+_BUILDERS = {
+    "mm_cpu": _mm_cpu,
+    "mm_gpu": _mm_gpu,
+    "asum_gpu": _asum_gpu,
+    "scal_gpu": _scal_gpu,
+    "kmeans_gpu": _kmeans_gpu,
+    "harris_gpu": _harris_gpu,
+    "stencil_gpu": _stencil_gpu,
+}
+
+
+def rise_benchmark_names() -> list[str]:
+    """Names of the 7 RISE & ELEVATE benchmarks, e.g. ``rise_mm_gpu``."""
+    return [f"rise_{name}" for name in _BUILDERS]
+
+
+@lru_cache(maxsize=None)
+def build_rise_benchmark(benchmark: str) -> Benchmark:
+    """Construct one RISE & ELEVATE benchmark (cached)."""
+    if benchmark not in _BUILDERS:
+        raise KeyError(f"unknown RISE benchmark {benchmark!r}; available: {sorted(_BUILDERS)}")
+    space, kernel, default, pinned = _BUILDERS[benchmark]()
+    if not space.is_feasible(default):
+        default = space.sample_one(__import__("numpy").random.default_rng(0))
+    expert = expert_search(space, kernel, default, pinned=pinned)
+    return Benchmark(
+        name=f"rise_{benchmark}",
+        framework="RISE & ELEVATE",
+        space=space,
+        evaluator=kernel,
+        full_budget=_FULL_BUDGETS[benchmark],
+        default_configuration=default,
+        expert_configuration=expert,
+        description=f"RISE & ELEVATE {benchmark} kernel",
+    )

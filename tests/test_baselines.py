@@ -1,0 +1,148 @@
+"""Tests for the baseline autotuners (random sampling, ATF/OpenTuner, Ytopt)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines.opentuner import AUCBandit, OpenTunerLikeTuner
+from repro.baselines.random_search import CoTSamplingTuner, UniformSamplingTuner
+from repro.baselines.ytopt import YtoptLikeTuner
+from repro.core.result import ObjectiveResult
+
+
+class TestRandomSamplers:
+    @pytest.mark.parametrize("cls", [UniformSamplingTuner, CoTSamplingTuner])
+    def test_respects_budget_and_constraints(self, cls, small_space, quadratic_objective):
+        history = cls(small_space, seed=0).tune(quadratic_objective, budget=25)
+        assert len(history) == 25
+        for evaluation in history:
+            assert small_space.is_feasible(evaluation.configuration)
+
+    def test_uniform_avoids_duplicates_in_large_spaces(self, small_space, quadratic_objective):
+        history = UniformSamplingTuner(small_space, seed=1).tune(quadratic_objective, budget=30)
+        keys = {small_space.freeze(e.configuration) for e in history}
+        assert len(keys) >= 28
+
+    def test_cot_sampling_differs_from_uniform_distribution(self, paper_cot_space):
+        """The biased CoT walk over-samples sparse branches relative to uniform."""
+        counts_uniform: dict = {}
+        counts_biased: dict = {}
+
+        def objective(config):
+            return ObjectiveResult(1.0)
+
+        for seed in range(5):
+            for cls, counts in (
+                (UniformSamplingTuner, counts_uniform),
+                (CoTSamplingTuner, counts_biased),
+            ):
+                history = cls(paper_cot_space, seed=seed).tune(objective, budget=60)
+                for evaluation in history:
+                    p1 = evaluation.configuration["p1"]
+                    counts[p1] = counts.get(p1, 0) + 1
+        # uniform over the feasible region favours p1=4 (2 of 3 feasible leaves);
+        # the per-level walk splits 50/50.
+        frac_uniform = counts_uniform[4] / sum(counts_uniform.values())
+        frac_biased = counts_biased[4] / sum(counts_biased.values())
+        assert frac_uniform > frac_biased
+
+    def test_reproducible_with_same_seed(self, small_space, quadratic_objective):
+        a = UniformSamplingTuner(small_space, seed=3).tune(quadratic_objective, budget=10)
+        b = UniformSamplingTuner(small_space, seed=3).tune(quadratic_objective, budget=10)
+        assert [e.value for e in a] == [e.value for e in b]
+
+
+class TestAUCBandit:
+    def test_prefers_successful_technique(self, rng):
+        bandit = AUCBandit(["good", "bad"], exploration=0.0)
+        for _ in range(10):
+            bandit.update("good", True)
+            bandit.update("bad", False)
+        picks = {bandit.select(rng) for _ in range(20)}
+        assert picks == {"good"}
+
+    def test_tries_unused_techniques_first(self, rng):
+        bandit = AUCBandit(["a", "b", "c"])
+        seen = set()
+        for _ in range(30):
+            choice = bandit.select(rng)
+            seen.add(choice)
+            bandit.update(choice, False)
+        assert seen == {"a", "b", "c"}
+
+    def test_requires_techniques(self):
+        with pytest.raises(ValueError):
+            AUCBandit([])
+
+    def test_recent_outcomes_weigh_more(self, rng):
+        bandit = AUCBandit(["x", "y"], window=8, exploration=0.0)
+        # x: early successes then failures; y: early failures then successes
+        for _ in range(4):
+            bandit.update("x", True)
+            bandit.update("y", False)
+        for _ in range(4):
+            bandit.update("x", False)
+            bandit.update("y", True)
+        assert bandit.select(rng) == "y"
+
+
+class TestOpenTunerLike:
+    def test_respects_budget_and_constraints(self, small_space, quadratic_objective):
+        history = OpenTunerLikeTuner(small_space, seed=0).tune(quadratic_objective, budget=30)
+        assert len(history) == 30
+        for evaluation in history:
+            assert small_space.is_feasible(evaluation.configuration)
+
+    def test_improves_over_initial_random_phase(self, small_space, quadratic_objective):
+        history = OpenTunerLikeTuner(small_space, seed=1).tune(quadratic_objective, budget=40)
+        initial = [e.value for e in history if e.phase == "initial"]
+        assert history.best_value() <= min(initial)
+
+    def test_handles_hidden_constraints_gracefully(self, small_space, hidden_constraint_objective):
+        history = OpenTunerLikeTuner(small_space, seed=2).tune(
+            hidden_constraint_objective, budget=30
+        )
+        assert history.best_value() < math.inf
+
+    def test_exploitation_around_elites(self, small_space, quadratic_objective):
+        """Most proposals after the initial phase stay near previously good ones."""
+        tuner = OpenTunerLikeTuner(small_space, seed=3, elite_size=3)
+        history = tuner.tune(quadratic_objective, budget=40)
+        assert history.best_value() < 5.0
+
+
+class TestYtoptLike:
+    def test_rf_surrogate_run(self, small_space, quadratic_objective):
+        history = YtoptLikeTuner(small_space, seed=0, rf_trees=8).tune(
+            quadratic_objective, budget=18
+        )
+        assert len(history) == 18
+        for evaluation in history:
+            assert small_space.is_feasible(evaluation.configuration)
+
+    def test_gp_surrogate_run(self, small_space, quadratic_objective):
+        tuner = YtoptLikeTuner(small_space, seed=1, surrogate="gp")
+        assert tuner.name == "Ytopt (GP)"
+        history = tuner.tune(quadratic_objective, budget=15)
+        assert len(history) == 15
+
+    def test_infeasible_points_penalized_not_modelled(self, small_space, hidden_constraint_objective):
+        tuner = YtoptLikeTuner(small_space, seed=2, rf_trees=8)
+        history = tuner.tune(hidden_constraint_objective, budget=20)
+        configs, values = tuner._training_data()
+        assert len(configs) == 20
+        feasible_values = [e.value for e in history if e.feasible]
+        assert max(values) > max(feasible_values)
+
+    def test_invalid_surrogate_rejected(self, small_space):
+        with pytest.raises(ValueError):
+            YtoptLikeTuner(small_space, surrogate="boosted")
+
+    def test_improves_on_toy_problem(self, small_space, quadratic_objective):
+        history = YtoptLikeTuner(small_space, seed=3, rf_trees=8).tune(
+            quadratic_objective, budget=25
+        )
+        assert history.best_value() < 5.0

@@ -1,0 +1,270 @@
+"""Tests for the simulated compiler toolchains (TACO, RISE & ELEVATE, HPVM2FPGA)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.compilers.hpvm2fpga import FPGA_BENCHMARKS, HpvmFpgaKernel
+from repro.compilers.machines import ARRIA_10, NVIDIA_K80, XEON_GOLD_6130
+from repro.compilers.rise import GPU_KERNEL_SPECS, RiseCpuKernel, RiseGpuKernel
+from repro.compilers.taco import TACO_EXPRESSIONS, TacoKernel
+from repro.compilers.tensors import TENSOR_REGISTRY, generate_tensor, get_tensor
+
+
+# ---------------------------------------------------------------------------
+# tensors
+# ---------------------------------------------------------------------------
+
+class TestSparseTensors:
+    def test_registry_contains_table4_datasets(self):
+        for name in ("scircuit", "cage12", "email-Enron", "facebook", "uber", "nips", "chicago"):
+            assert name in TENSOR_REGISTRY
+
+    def test_get_tensor_is_cached(self):
+        assert get_tensor("cage12") is get_tensor("cage12")
+
+    def test_tensor_statistics_are_sane(self):
+        tensor = get_tensor("scircuit")
+        assert tensor.shape == (170_998, 170_998)
+        assert tensor.nnz == 958_936
+        assert 0.0 < tensor.density < 1.0
+        assert tensor.nnz_per_row == pytest.approx(tensor.nnz / tensor.n_rows)
+        assert tensor.working_set_bytes() > tensor.nnz
+
+    def test_powerlaw_more_skewed_than_uniform(self):
+        powerlaw = generate_tensor("p", (50_000, 50_000), 1_000_000, distribution="powerlaw")
+        uniform = generate_tensor("u", (50_000, 50_000), 1_000_000, distribution="uniform")
+        assert powerlaw.skew > uniform.skew
+        assert powerlaw.row_imbalance > uniform.row_imbalance
+
+    def test_unknown_tensor_and_distribution_rejected(self):
+        with pytest.raises(KeyError):
+            get_tensor("not-a-tensor")
+        with pytest.raises(ValueError):
+            generate_tensor("x", (10, 10), 100, distribution="weird")
+        with pytest.raises(ValueError):
+            generate_tensor("x", (10, 10), 0)
+
+
+# ---------------------------------------------------------------------------
+# TACO cost model
+# ---------------------------------------------------------------------------
+
+def _taco_config(**overrides):
+    config = {
+        "chunk_size": 256,
+        "chunk_size2": 16,
+        "chunk_size3": 8,
+        "omp_chunk_size": 16,
+        "omp_scheduling": "dynamic",
+        "unroll_factor": 8,
+        "permutation": (0, 1, 2, 3, 4),
+    }
+    config.update(overrides)
+    return config
+
+
+class TestTacoKernel:
+    def test_all_expressions_evaluate(self):
+        tensor = get_tensor("cage12")
+        for name in TACO_EXPRESSIONS:
+            kernel = TacoKernel(name, tensor)
+            n_loops = TACO_EXPRESSIONS[name].n_loops
+            result = kernel.evaluate(_taco_config(permutation=tuple(range(n_loops))))
+            assert result.feasible
+            assert result.value > 0
+
+    def test_deterministic_given_configuration(self):
+        kernel = TacoKernel("spmm", get_tensor("scircuit"))
+        config = _taco_config()
+        assert kernel.evaluate(config).value == kernel.evaluate(config).value
+
+    def test_unknown_expression_rejected(self):
+        with pytest.raises(KeyError):
+            TacoKernel("gemm", get_tensor("cage12"))
+
+    def test_discordant_traversal_is_catastrophic(self):
+        """Hoisting the compressed reduction loop outermost is orders of magnitude slower."""
+        kernel = TacoKernel("spmv", get_tensor("scircuit"))
+        good = kernel.evaluate(_taco_config(permutation=(0, 1, 2, 3, 4))).value
+        bad = kernel.evaluate(_taco_config(permutation=(4, 1, 2, 3, 0))).value
+        assert bad > 5 * good
+
+    def test_best_loop_order_beats_identity(self):
+        """The optimal order is slightly better than the default (RQ4: ~1.1x)."""
+        kernel = TacoKernel("spmm", get_tensor("scircuit"), noise=0.0)
+        identity = kernel.evaluate(_taco_config(permutation=(0, 1, 2, 3, 4))).value
+        best = kernel.evaluate(_taco_config(permutation=kernel.best_loop_order)).value
+        assert best < identity
+        assert identity / best < 1.3
+
+    def test_static_scheduling_hurts_skewed_tensors(self):
+        kernel = TacoKernel("spmm", get_tensor("email-Enron"), noise=0.0)
+        static = kernel.evaluate(_taco_config(omp_scheduling="static")).value
+        dynamic = kernel.evaluate(_taco_config(omp_scheduling="dynamic")).value
+        assert dynamic < static
+
+    def test_chunk_size_has_an_interior_optimum(self):
+        kernel = TacoKernel("spmm", get_tensor("cage12"), noise=0.0)
+        values = {
+            chunk: kernel.evaluate(_taco_config(chunk_size=chunk)).value
+            for chunk in (2, 64, 512)
+        }
+        assert min(values, key=values.get) != 2
+
+    def test_ttv_hidden_constraint(self):
+        kernel = TacoKernel("ttv", get_tensor("facebook"))
+        bad = kernel.evaluate(
+            _taco_config(permutation=(4, 0, 1, 2, 3), omp_scheduling="dynamic")
+        )
+        assert not bad.feasible
+        assert math.isinf(bad.value)
+        ok = kernel.evaluate(
+            _taco_config(permutation=(4, 0, 1, 2, 3), omp_scheduling="static")
+        )
+        assert ok.feasible
+
+    def test_spmm_slower_than_spmv_per_tensor(self):
+        tensor = get_tensor("cage12")
+        spmv = TacoKernel("spmv", tensor, noise=0.0).evaluate(_taco_config()).value
+        spmm = TacoKernel("spmm", tensor, noise=0.0).evaluate(_taco_config()).value
+        assert spmm > spmv
+
+    def test_noise_is_bounded(self):
+        kernel_noisy = TacoKernel("spmm", get_tensor("cage12"), noise=0.05, seed=1)
+        kernel_clean = TacoKernel("spmm", get_tensor("cage12"), noise=0.0, seed=1)
+        noisy = kernel_noisy.evaluate(_taco_config()).value
+        clean = kernel_clean.evaluate(_taco_config()).value
+        assert abs(noisy - clean) / clean < 0.5
+
+
+# ---------------------------------------------------------------------------
+# RISE & ELEVATE cost models
+# ---------------------------------------------------------------------------
+
+def _mm_gpu_config(**overrides):
+    config = {
+        "ls0": 32, "ls1": 4, "ts0": 64, "ts1": 32, "tk": 8,
+        "vw": 4, "sq0": 4, "sq1": 4, "split": 8, "swizzle": 1,
+    }
+    config.update(overrides)
+    return config
+
+
+class TestRiseGpuKernel:
+    def test_all_specs_evaluate(self):
+        for name in GPU_KERNEL_SPECS:
+            kernel = RiseGpuKernel(name)
+            result = kernel.evaluate(_mm_gpu_config())
+            assert result.value > 0 or not result.feasible
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(KeyError):
+            RiseGpuKernel("fft_gpu")
+
+    def test_shared_memory_overflow_is_hidden_constraint(self):
+        kernel = RiseGpuKernel("mm_gpu")
+        huge_tiles = _mm_gpu_config(ts0=128, ts1=128, tk=64)
+        assert kernel.shared_memory_bytes(huge_tiles) > NVIDIA_K80.shared_memory_kib * 1024
+        assert not kernel.evaluate(huge_tiles).feasible
+
+    def test_reasonable_tiles_are_feasible(self):
+        kernel = RiseGpuKernel("mm_gpu")
+        assert kernel.evaluate(_mm_gpu_config()).feasible
+
+    def test_tiny_work_groups_are_slow(self):
+        kernel = RiseGpuKernel("mm_gpu", noise=0.0)
+        small = kernel.evaluate(_mm_gpu_config(ls0=1, ls1=1)).value
+        normal = kernel.evaluate(_mm_gpu_config()).value
+        assert small > normal
+
+    def test_coalescing_rewards_wider_vectors(self):
+        kernel = RiseGpuKernel("scal_gpu", noise=0.0)
+        narrow = kernel.evaluate({"ls0": 8, "ls1": 1, "vw": 1, "sq0": 8, "sq1": 1}).value
+        wide = kernel.evaluate({"ls0": 8, "ls1": 1, "vw": 8, "sq0": 8, "sq1": 1}).value
+        assert wide < narrow
+
+    def test_benchmarks_without_hidden_constraints_never_fail(self, rng):
+        kernel = RiseGpuKernel("stencil_gpu")
+        for _ in range(50):
+            config = {
+                "ls0": int(2 ** rng.integers(0, 7)),
+                "ls1": int(2 ** rng.integers(0, 7)),
+                "ts0": int(2 ** rng.integers(2, 9)),
+                "ts1": int(2 ** rng.integers(2, 9)),
+            }
+            assert kernel.evaluate(config).feasible
+
+
+class TestRiseCpuKernel:
+    def test_feasible_configuration(self):
+        kernel = RiseCpuKernel(noise=0.0)
+        result = kernel.evaluate({"ts0": 64, "ts1": 64, "tk": 64, "vw": 4, "permutation": (1, 0, 2)})
+        assert result.feasible and result.value > 0
+
+    def test_vectorizer_hidden_constraint(self):
+        kernel = RiseCpuKernel()
+        result = kernel.evaluate({"ts0": 64, "ts1": 2, "tk": 64, "vw": 8, "permutation": (0, 1, 2)})
+        assert not result.feasible
+
+    def test_loop_order_matters(self):
+        kernel = RiseCpuKernel(noise=0.0)
+        best = kernel.evaluate({"ts0": 64, "ts1": 64, "tk": 64, "vw": 8, "permutation": kernel.best_loop_order}).value
+        worst = kernel.evaluate({"ts0": 64, "ts1": 64, "tk": 64, "vw": 8, "permutation": (0, 1, 2)}).value
+        assert best < worst
+
+    def test_oversized_tiles_thrash_cache(self):
+        kernel = RiseCpuKernel(noise=0.0)
+        good = kernel.evaluate({"ts0": 32, "ts1": 64, "tk": 32, "vw": 8, "permutation": (1, 0, 2)}).value
+        huge = kernel.evaluate({"ts0": 512, "ts1": 512, "tk": 512, "vw": 8, "permutation": (1, 0, 2)}).value
+        assert huge > good
+
+
+# ---------------------------------------------------------------------------
+# HPVM2FPGA cost model
+# ---------------------------------------------------------------------------
+
+class TestHpvmFpgaKernel:
+    def test_all_benchmarks_evaluate_default(self):
+        for name, spec in FPGA_BENCHMARKS.items():
+            kernel = HpvmFpgaKernel(name)
+            config = {f"unroll_{loop.name}": 1 for loop in spec.loops}
+            result = kernel.evaluate(config)
+            assert result.feasible and result.value > 0
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(KeyError):
+            HpvmFpgaKernel("mri-q")
+
+    def test_unrolling_reduces_latency(self):
+        kernel = HpvmFpgaKernel("bfs", noise=0.0)
+        base = kernel.evaluate({"unroll_visit": 1, "unroll_frontier": 1}).value
+        unrolled = kernel.evaluate({"unroll_visit": 4, "unroll_frontier": 4}).value
+        assert unrolled < base
+
+    def test_resource_exhaustion_is_hidden_constraint(self):
+        kernel = HpvmFpgaKernel("preeuler")
+        config = {f"unroll_{loop.name}": 16 for loop in FPGA_BENCHMARKS["preeuler"].loops}
+        usage = kernel.resource_usage(config)
+        assert usage["dsps"] > ARRIA_10.dsps or usage["luts"] > ARRIA_10.luts
+        assert not kernel.evaluate(config).feasible
+
+    def test_incompatible_fusion_fails(self):
+        kernel = HpvmFpgaKernel("bfs")
+        config = {"unroll_visit": 8, "unroll_frontier": 1, "fuse_0": 1}
+        assert not kernel.evaluate(config).feasible
+
+    def test_compatible_fusion_helps(self):
+        kernel = HpvmFpgaKernel("bfs", noise=0.0)
+        unfused = kernel.evaluate({"unroll_visit": 2, "unroll_frontier": 2, "fuse_0": 0}).value
+        fused = kernel.evaluate({"unroll_visit": 2, "unroll_frontier": 2, "fuse_0": 1}).value
+        assert fused < unfused
+
+    def test_privatization_helps_memory_bound_loops(self):
+        kernel = HpvmFpgaKernel("bfs", noise=0.0)
+        without = kernel.evaluate({"unroll_visit": 2, "unroll_frontier": 2, "priv_levels": 0}).value
+        with_priv = kernel.evaluate({"unroll_visit": 2, "unroll_frontier": 2, "priv_levels": 1}).value
+        assert with_priv < without

@@ -1,0 +1,108 @@
+"""Tests for known-constraint expressions and co-dependence grouping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.space.constraints import (
+    Constraint,
+    ConstraintError,
+    extract_variables,
+    group_codependent,
+)
+
+
+class TestConstraintExpressions:
+    def test_simple_comparison(self):
+        constraint = Constraint("a >= b")
+        assert constraint({"a": 4, "b": 2})
+        assert not constraint({"a": 1, "b": 2})
+
+    def test_arithmetic_and_functions(self):
+        constraint = Constraint("a * b <= 1024 and log2(a) >= 2")
+        assert constraint({"a": 4, "b": 8})
+        assert not constraint({"a": 2, "b": 8})
+        assert not constraint({"a": 64, "b": 64})
+
+    def test_modulo_divisibility(self):
+        constraint = Constraint("n % tile == 0")
+        assert constraint({"n": 64, "tile": 16})
+        assert not constraint({"n": 60, "tile": 16})
+
+    def test_membership(self):
+        constraint = Constraint("mode in ('a', 'b')")
+        assert constraint({"mode": "a"})
+        assert not constraint({"mode": "z"})
+
+    def test_variables_extraction(self):
+        assert extract_variables("a + b >= max(c, 2)") == {"a", "b", "c"}
+        assert Constraint("x * y >= 2").variables == {"x", "y"}
+
+    def test_missing_variable_raises_keyerror(self):
+        with pytest.raises(KeyError):
+            Constraint("a >= b").evaluate({"a": 1})
+
+    def test_is_applicable(self):
+        constraint = Constraint("a >= b")
+        assert constraint.is_applicable({"a": 1, "b": 2, "c": 3})
+        assert not constraint.is_applicable({"a": 1})
+
+    def test_invalid_syntax_rejected(self):
+        with pytest.raises(ConstraintError):
+            Constraint("a >=")
+
+    def test_constant_expression_rejected(self):
+        with pytest.raises(ConstraintError):
+            Constraint("1 < 2")
+
+    def test_disallowed_calls_rejected(self):
+        with pytest.raises(ConstraintError):
+            Constraint("__import__('os').system('true')")
+        with pytest.raises(ConstraintError):
+            Constraint("open('x') and a > 1")
+
+    def test_attribute_access_rejected(self):
+        with pytest.raises(ConstraintError):
+            Constraint("a.__class__ is not None")
+
+    def test_callable_constraint(self):
+        constraint = Constraint.from_callable(
+            lambda cfg: cfg["a"] + cfg["b"] < 10, ["a", "b"], name="sum_below_ten"
+        )
+        assert constraint({"a": 3, "b": 4})
+        assert not constraint({"a": 8, "b": 4})
+        assert constraint.variables == {"a", "b"}
+        assert constraint.name == "sum_below_ten"
+
+    def test_callable_constraint_requires_variables(self):
+        with pytest.raises(ConstraintError):
+            Constraint.from_callable(lambda cfg: True, [])
+
+
+class TestGrouping:
+    def test_paper_example_grouping(self):
+        """Fig. 4: {p1,p2} and {p3,p4,p5} are the two co-dependent groups."""
+        constraints = [
+            Constraint("p1 >= p2"),
+            Constraint("p4 >= p3"),
+            Constraint("p5 >= 2 * p4"),
+        ]
+        groups = group_codependent(["p1", "p2", "p3", "p4", "p5"], constraints)
+        assert ["p1", "p2"] in groups
+        assert ["p3", "p4", "p5"] in groups
+
+    def test_unconstrained_parameters_form_singletons(self):
+        groups = group_codependent(["a", "b", "c"], [Constraint("a >= 2")])
+        assert ["a"] in groups and ["b"] in groups and ["c"] in groups
+
+    def test_transitive_grouping(self):
+        constraints = [Constraint("a >= b"), Constraint("b >= c")]
+        groups = group_codependent(["a", "b", "c", "d"], constraints)
+        assert ["a", "b", "c"] in groups
+        assert ["d"] in groups
+
+    def test_group_order_follows_parameter_order(self):
+        constraints = [Constraint("z >= y")]
+        groups = group_codependent(["x", "y", "z"], constraints)
+        assert groups[0] == ["x"]
+        assert groups[1] == ["y", "z"]

@@ -1,0 +1,98 @@
+"""Integration tests: the full pipeline from benchmark to headline claims.
+
+These are scaled-down versions of the paper's experiments; they check the
+*qualitative* results (who wins, who handles constraints) rather than exact
+numbers, and they use small budgets / few repetitions to stay fast.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines import OpenTunerLikeTuner, UniformSamplingTuner
+from repro.core import BacoTuner
+from repro.core.baco import BacoSettings
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.metrics import mean_best_value, relative_performance
+from repro.experiments.runner import run_benchmark
+from repro.workloads import get_benchmark
+
+
+def _fast_settings(**overrides) -> BacoSettings:
+    base = dict(
+        gp_prior_samples=6,
+        gp_refined_starts=1,
+        gp_max_iterations=10,
+        n_random_samples=96,
+        n_local_search_starts=3,
+        max_local_search_steps=12,
+        feasibility_trees=8,
+    )
+    base.update(overrides)
+    return BacoSettings(**base)
+
+
+@pytest.mark.slow
+class TestHeadlineClaims:
+    def test_baco_beats_random_sampling_on_taco(self):
+        """RQ1/RQ2 (scaled down): BaCO finds better schedules than random sampling."""
+        benchmark = get_benchmark("taco_spmm_scircuit")
+        budget = 25
+        baco = [
+            BacoTuner(benchmark.space, settings=_fast_settings(), seed=s)
+            .tune(benchmark.evaluator, budget)
+            .best_value()
+            for s in range(2)
+        ]
+        random_best = [
+            UniformSamplingTuner(benchmark.space, seed=s).tune(benchmark.evaluator, budget).best_value()
+            for s in range(2)
+        ]
+        assert np.mean(baco) < np.mean(random_best) * 1.05
+
+    def test_baco_approaches_expert_on_taco(self):
+        benchmark = get_benchmark("taco_sddmm_email-Enron")
+        history = BacoTuner(benchmark.space, settings=_fast_settings(), seed=3).tune(
+            benchmark.evaluator, 40
+        )
+        assert history.best_value() <= benchmark.expert_value * 1.25
+
+    def test_baco_handles_hidden_constraints_on_gpu_benchmark(self):
+        """Most learning-phase proposals should be feasible despite hidden constraints."""
+        benchmark = get_benchmark("rise_scal_gpu")
+        history = BacoTuner(benchmark.space, settings=_fast_settings(), seed=1).tune(
+            benchmark.evaluator, 30
+        )
+        learning = [e for e in history if e.phase == "learning"]
+        feasible_fraction = sum(1 for e in learning if e.feasible) / max(len(learning), 1)
+        assert feasible_fraction > 0.4
+        assert history.best_value() < benchmark.default_value
+
+    def test_fpga_dse_improves_over_default(self):
+        benchmark = get_benchmark("hpvm_preeuler")
+        history = BacoTuner(benchmark.space, settings=_fast_settings(), seed=2).tune(
+            benchmark.evaluator, 30
+        )
+        assert history.best_value() < benchmark.default_value
+
+    def test_run_benchmark_relative_performance_is_sane(self, tmp_path):
+        config = ExperimentConfig(
+            repetitions=2, budget_scale=0.4, cache_dir=tmp_path, use_cache=True
+        )
+        benchmark = get_benchmark("hpvm_bfs")
+        results = run_benchmark(
+            benchmark, ("Uniform Sampling", "CoT Sampling"), config=config
+        )
+        for histories in results.values():
+            assert mean_best_value(histories) < math.inf
+            rel = relative_performance(benchmark, histories, reference=benchmark.default_value)
+            assert rel >= 1.0  # random search finds at least the default-level design
+
+    def test_opentuner_competitive_on_simple_spmv(self):
+        """RQ4: the exploit-heavy baseline does fine on the well-behaved SpMV kernel."""
+        benchmark = get_benchmark("taco_spmv_cage12")
+        history = OpenTunerLikeTuner(benchmark.space, seed=5).tune(benchmark.evaluator, 40)
+        assert history.best_value() < benchmark.default_value

@@ -1,0 +1,142 @@
+"""Tests for the from-scratch decision tree and random forests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models.random_forest import (
+    DecisionTree,
+    RandomForestClassifier,
+    RandomForestRegressor,
+)
+
+
+def _regression_data(rng, n=200):
+    x = rng.uniform(-2, 2, size=(n, 3))
+    y = np.where(x[:, 0] > 0, 3.0, -1.0) + 0.5 * x[:, 1]
+    return x, y
+
+
+def _classification_data(rng, n=200):
+    x = rng.uniform(-1, 1, size=(n, 4))
+    y = ((x[:, 0] + x[:, 1]) > 0).astype(float)
+    return x, y
+
+
+class TestDecisionTree:
+    def test_fits_step_function(self, rng):
+        x, y = _regression_data(rng)
+        tree = DecisionTree(max_depth=6, max_features=None, rng=rng)
+        tree.fit(x, y)
+        predictions = tree.predict(x)
+        assert np.mean((predictions - y) ** 2) < np.var(y)
+
+    def test_depth_limit_respected(self, rng):
+        x, y = _regression_data(rng)
+        tree = DecisionTree(max_depth=2, max_features=None, rng=rng)
+        tree.fit(x, y)
+        assert tree.depth() <= 2
+
+    def test_constant_targets_produce_leaf(self, rng):
+        x = rng.uniform(size=(20, 2))
+        tree = DecisionTree(rng=rng)
+        tree.fit(x, np.full(20, 7.0))
+        assert np.allclose(tree.predict(x), 7.0)
+        assert tree.depth() == 0
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            DecisionTree().predict(np.zeros((2, 2)))
+
+    def test_shape_validation(self, rng):
+        tree = DecisionTree(rng=rng)
+        with pytest.raises(ValueError):
+            tree.fit(np.zeros(5), np.zeros(5))
+        with pytest.raises(ValueError):
+            tree.fit(np.zeros((5, 2)), np.zeros(4))
+        with pytest.raises(ValueError):
+            tree.fit(np.zeros((0, 2)), np.zeros(0))
+
+    def test_min_samples_leaf(self, rng):
+        x, y = _regression_data(rng, n=30)
+        tree = DecisionTree(min_samples_leaf=10, max_features=None, rng=rng)
+        tree.fit(x, y)
+
+        def leaf_sizes(node):
+            if node.is_leaf():
+                return [node.n_samples]
+            return leaf_sizes(node.left) + leaf_sizes(node.right)
+
+        assert min(leaf_sizes(tree._root)) >= 10
+
+
+class TestRandomForestRegressor:
+    def test_predictions_track_targets(self, rng):
+        x, y = _regression_data(rng)
+        forest = RandomForestRegressor(n_trees=16, rng=rng)
+        forest.fit(x, y)
+        predictions = forest.predict(x)
+        assert np.corrcoef(predictions, y)[0, 1] > 0.9
+
+    def test_uncertainty_is_nonnegative(self, rng):
+        x, y = _regression_data(rng)
+        forest = RandomForestRegressor(n_trees=8, rng=rng)
+        forest.fit(x, y)
+        _, variance = forest.predict_with_uncertainty(x[:10])
+        assert np.all(variance >= 0)
+
+    def test_generalizes_to_test_split(self, rng):
+        x, y = _regression_data(rng, n=400)
+        forest = RandomForestRegressor(n_trees=20, rng=rng)
+        forest.fit(x[:300], y[:300])
+        test_error = np.mean((forest.predict(x[300:]) - y[300:]) ** 2)
+        assert test_error < np.var(y[300:])
+
+    def test_requires_at_least_one_tree(self):
+        with pytest.raises(ValueError):
+            RandomForestRegressor(n_trees=0)
+
+    def test_empty_fit_rejected(self, rng):
+        with pytest.raises(ValueError):
+            RandomForestRegressor(rng=rng).fit(np.zeros((0, 3)), np.zeros(0))
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            RandomForestRegressor().predict(np.zeros((1, 2)))
+
+
+class TestRandomForestClassifier:
+    def test_probabilities_in_unit_interval(self, rng):
+        x, y = _classification_data(rng)
+        forest = RandomForestClassifier(n_trees=16, rng=rng)
+        forest.fit(x, y)
+        probabilities = forest.predict_proba(x)
+        assert np.all(probabilities >= 0.0) and np.all(probabilities <= 1.0)
+
+    def test_accuracy_on_separable_data(self, rng):
+        x, y = _classification_data(rng, n=400)
+        forest = RandomForestClassifier(n_trees=16, rng=rng)
+        forest.fit(x[:300], y[:300])
+        accuracy = np.mean(forest.predict(x[300:]) == y[300:])
+        assert accuracy > 0.85
+
+    def test_probability_ordering(self, rng):
+        x, y = _classification_data(rng, n=300)
+        forest = RandomForestClassifier(n_trees=16, rng=rng)
+        forest.fit(x, y)
+        clearly_positive = np.array([[0.9, 0.9, 0.0, 0.0]])
+        clearly_negative = np.array([[-0.9, -0.9, 0.0, 0.0]])
+        assert forest.predict_proba(clearly_positive)[0] > forest.predict_proba(clearly_negative)[0]
+
+    def test_rejects_non_binary_targets(self, rng):
+        x, _ = _classification_data(rng)
+        forest = RandomForestClassifier(rng=rng)
+        with pytest.raises(ValueError):
+            forest.fit(x, np.full(len(x), 2.0))
+
+    def test_reproducible_with_seeded_rng(self):
+        x, y = _classification_data(np.random.default_rng(7), n=120)
+        a = RandomForestClassifier(n_trees=8, rng=np.random.default_rng(11)).fit(x, y)
+        b = RandomForestClassifier(n_trees=8, rng=np.random.default_rng(11)).fit(x, y)
+        assert np.allclose(a.predict_proba(x), b.predict_proba(x))

@@ -1,0 +1,105 @@
+"""Additional coverage for the experiment runner: variants, caching, fidelity."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.baco import BacoTuner
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import (
+    MAIN_TUNERS,
+    TUNER_VARIANTS,
+    _cache_path,
+    make_tuner,
+    run_single,
+    run_suite,
+)
+from repro.workloads import get_benchmark
+
+
+class TestVariantConstruction:
+    def test_baco_variants_set_expected_settings(self, small_space):
+        ablations = {
+            "BaCO (kendall)": ("permutation_metric", "kendall"),
+            "BaCO (hamming)": ("permutation_metric", "hamming"),
+            "BaCO (naive permutations)": ("permutation_metric", "naive"),
+            "BaCO (no transformations)": ("use_transformations", False),
+            "BaCO (no priors)": ("use_lengthscale_priors", False),
+            "BaCO (no hidden constraints)": ("use_feasibility_model", False),
+            "BaCO (no feasibility limit)": ("use_feasibility_threshold", False),
+            "BaCO (RF surrogate)": ("surrogate", "rf"),
+        }
+        for name, (attribute, expected) in ablations.items():
+            tuner = make_tuner(name, small_space, seed=0)
+            assert isinstance(tuner, BacoTuner)
+            assert getattr(tuner.settings, attribute) == expected
+
+    def test_baco_minus_minus_variant(self, small_space):
+        tuner = make_tuner("BaCO--", small_space, seed=0)
+        assert isinstance(tuner, BacoTuner)
+        assert not tuner.settings.use_local_search
+        assert tuner.settings.permutation_metric == "naive"
+
+    def test_fidelity_controls_effort(self, small_space):
+        fast = make_tuner("BaCO", small_space, seed=0, fidelity="fast")
+        paper = make_tuner("BaCO", small_space, seed=0, fidelity="paper")
+        assert fast.settings.gp_prior_samples < paper.settings.gp_prior_samples
+        assert fast.settings.n_random_samples < paper.settings.n_random_samples
+
+    def test_variant_names_are_stable(self):
+        # benchmarks and EXPERIMENTS.md refer to these names; keep them stable
+        for name in MAIN_TUNERS:
+            assert name in TUNER_VARIANTS
+        for name in ("BaCO--", "Ytopt (GP)", "BaCO (RF surrogate)"):
+            assert name in TUNER_VARIANTS
+
+
+class TestCaching:
+    def test_cache_path_depends_on_all_key_fields(self, tmp_path):
+        config = ExperimentConfig(cache_dir=tmp_path)
+        base = _cache_path(config, "bench", "BaCO", 30, 1)
+        assert _cache_path(config, "bench", "BaCO", 30, 2) != base
+        assert _cache_path(config, "bench", "BaCO", 40, 1) != base
+        assert _cache_path(config, "bench", "Ytopt", 30, 1) != base
+        assert _cache_path(config, "other", "BaCO", 30, 1) != base
+
+    def test_corrupt_cache_entry_is_recomputed(self, tmp_path):
+        config = ExperimentConfig(repetitions=1, cache_dir=tmp_path, use_cache=True)
+        history = run_single("hpvm_bfs", "Uniform Sampling", budget=6, seed=3, config=config)
+        path = next(tmp_path.glob("*.json"))
+        path.write_text("{not valid json")
+        recomputed = run_single("hpvm_bfs", "Uniform Sampling", budget=6, seed=3, config=config)
+        assert [e.value for e in recomputed] == [e.value for e in history]
+        assert json.loads(next(tmp_path.glob("*.json")).read_text())
+
+    def test_cache_disabled_writes_nothing(self, tmp_path):
+        config = ExperimentConfig(repetitions=1, cache_dir=tmp_path, use_cache=False)
+        run_single("hpvm_bfs", "CoT Sampling", budget=5, seed=0, config=config)
+        assert not list(tmp_path.glob("*.json"))
+
+    def test_run_suite_structure(self, tmp_path):
+        config = ExperimentConfig(repetitions=1, budget_scale=0.5, cache_dir=tmp_path)
+        results = run_suite(["hpvm_bfs"], ("Uniform Sampling",), config=config)
+        assert set(results) == {"hpvm_bfs"}
+        assert set(results["hpvm_bfs"]) == {"Uniform Sampling"}
+        assert len(results["hpvm_bfs"]["Uniform Sampling"]) == 1
+
+    def test_cached_histories_are_seed_deterministic(self, tmp_path):
+        """Two fresh runs with the same seed produce identical traces."""
+        config = ExperimentConfig(repetitions=1, cache_dir=tmp_path, use_cache=False)
+        first = run_single("hpvm_bfs", "CoT Sampling", budget=8, seed=11, config=config)
+        second = run_single("hpvm_bfs", "CoT Sampling", budget=8, seed=11, config=config)
+        assert [e.value for e in first] == [e.value for e in second]
+
+
+class TestBenchmarkIntegrationSmoke:
+    def test_make_tuner_runs_on_real_benchmark(self):
+        benchmark = get_benchmark("hpvm_bfs")
+        tuner = make_tuner("BaCO", benchmark.space, seed=0, fidelity="fast")
+        history = tuner.tune(benchmark.evaluator, budget=8, benchmark_name=benchmark.name)
+        assert len(history) == 8
+        assert history.tuner_name == "BaCO"
+        assert history.best_value() < float("inf")

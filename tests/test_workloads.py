@@ -1,0 +1,194 @@
+"""Tests for the benchmark workload definitions (Table 3)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    Benchmark,
+    benchmark_names,
+    benchmarks_by_framework,
+    expert_search,
+    get_benchmark,
+    hpvm_benchmark_names,
+    representative_benchmarks,
+    rise_benchmark_names,
+    taco_benchmark_names,
+)
+from repro.workloads.taco_suite import build_taco_benchmark
+
+
+class TestRegistry:
+    def test_benchmark_counts(self):
+        assert len(taco_benchmark_names()) == 15
+        assert len(rise_benchmark_names()) == 7
+        assert len(hpvm_benchmark_names()) == 3
+        assert len(benchmark_names()) == 25
+
+    def test_grouping_by_framework(self):
+        groups = benchmarks_by_framework()
+        assert set(groups) == {"TACO", "RISE & ELEVATE", "HPVM2FPGA"}
+        assert sum(len(v) for v in groups.values()) == 25
+
+    def test_all_benchmarks_constructible(self):
+        for name in benchmark_names():
+            benchmark = get_benchmark(name)
+            assert isinstance(benchmark, Benchmark)
+            assert benchmark.name == name
+
+    def test_construction_is_cached(self):
+        assert get_benchmark("hpvm_bfs") is get_benchmark("hpvm_bfs")
+
+    def test_unknown_names_rejected(self):
+        with pytest.raises(KeyError):
+            get_benchmark("taco_spmm_not_a_tensor")
+        with pytest.raises(KeyError):
+            get_benchmark("llvm_something")
+
+    def test_representatives_exist(self):
+        for name in representative_benchmarks().values():
+            assert name in benchmark_names()
+
+    def test_ablation_tensors_buildable(self):
+        benchmark = build_taco_benchmark("spmm", "amazon0312")
+        assert benchmark.space.dimension == 6
+
+
+# expected Table 3 characteristics: (dimension, type string, constraint string)
+_TABLE3_EXPECTATIONS = {
+    "taco_spmv_cage12": (7, "O/C/P", ""),
+    "taco_spmm_scircuit": (6, "O/C/P", "K"),
+    "taco_sddmm_email-Enron": (6, "O/C/P", "K"),
+    "taco_ttv_facebook": (7, "O/C/P", "K/H"),
+    "taco_mttkrp_uber": (6, "O/C/P", "K"),
+    "rise_mm_cpu": (5, "O/P", "K/H"),
+    "rise_mm_gpu": (10, "O", "K/H"),
+    "rise_asum_gpu": (5, "O", "K"),
+    "rise_scal_gpu": (7, "O", "K/H"),
+    "rise_kmeans_gpu": (4, "O", "K/H"),
+    "rise_harris_gpu": (7, "O", "K"),
+    "rise_stencil_gpu": (4, "O", "K"),
+    "hpvm_bfs": (4, "O/C", "H"),
+    "hpvm_audio": (15, "O/C", "H"),
+    "hpvm_preeuler": (7, "O/C", "H"),
+}
+
+
+class TestTable3Characteristics:
+    @pytest.mark.parametrize("name,expected", sorted(_TABLE3_EXPECTATIONS.items()))
+    def test_dimensions_types_constraints(self, name, expected):
+        dimension, types, constraints = expected
+        info = get_benchmark(name).describe()
+        assert info["dimension"] == dimension
+        assert info["types"] == types
+        assert info["constraints"] == constraints
+
+    def test_budgets_match_table3(self):
+        assert get_benchmark("taco_spmv_cage12").full_budget == 70
+        assert get_benchmark("taco_spmm_scircuit").full_budget == 60
+        assert get_benchmark("rise_mm_cpu").full_budget == 100
+        assert get_benchmark("rise_mm_gpu").full_budget == 120
+        assert get_benchmark("hpvm_bfs").full_budget == 20
+        assert get_benchmark("hpvm_audio").full_budget == 60
+
+    def test_budget_levels(self):
+        benchmark = get_benchmark("taco_spmm_scircuit")
+        assert benchmark.tiny_budget == 20
+        assert benchmark.small_budget == 40
+        assert benchmark.budget("full") == 60
+        with pytest.raises(KeyError):
+            benchmark.budget("huge")
+
+    def test_feasible_size_not_larger_than_dense(self):
+        for name in ("taco_spmm_scircuit", "rise_mm_gpu", "rise_stencil_gpu"):
+            info = get_benchmark(name).describe()
+            assert info["feasible_size"] <= info["dense_size"]
+
+
+class TestReferenceConfigurations:
+    @pytest.mark.parametrize("name", sorted(_TABLE3_EXPECTATIONS))
+    def test_default_configuration_is_feasible(self, name):
+        benchmark = get_benchmark(name)
+        assert benchmark.default_configuration is not None
+        assert benchmark.space.is_feasible(benchmark.default_configuration)
+        assert math.isfinite(benchmark.default_value)
+
+    def test_taco_and_rise_have_experts(self):
+        for name in ("taco_spmm_scircuit", "taco_spmv_cage12", "rise_mm_gpu", "rise_asum_gpu"):
+            benchmark = get_benchmark(name)
+            assert benchmark.has_expert
+            assert benchmark.expert_value <= benchmark.default_value
+
+    def test_hpvm_has_no_expert(self):
+        for name in hpvm_benchmark_names():
+            benchmark = get_benchmark(name)
+            assert not benchmark.has_expert
+            assert benchmark.reference_value == benchmark.default_value
+
+    def test_expert_uses_default_loop_order(self):
+        """The TACO experts only consider the default permutation (RQ4)."""
+        benchmark = get_benchmark("taco_spmm_scircuit")
+        n = len(benchmark.expert_configuration["permutation"])
+        assert tuple(benchmark.expert_configuration["permutation"]) == tuple(range(n))
+
+    def test_expert_is_not_globally_optimal_for_taco(self):
+        """A better-than-expert schedule exists (so autotuners can beat the expert)."""
+        benchmark = get_benchmark("taco_spmm_scircuit")
+        better = dict(benchmark.expert_configuration)
+        kernel = benchmark.evaluator
+        better["permutation"] = kernel.best_loop_order
+        result = benchmark.evaluate(better)
+        assert result.feasible
+        assert result.value < benchmark.expert_value * 1.05
+
+
+class TestExpertSearch:
+    def test_pinned_parameters_are_not_modified(self, small_space, quadratic_objective):
+        start = {"p1": 16, "p2": 2, "sched": "dynamic", "order": (0, 1, 2)}
+        expert = expert_search(
+            small_space, quadratic_objective, start, pinned=("order", "sched")
+        )
+        assert expert["order"] == (0, 1, 2)
+        assert expert["sched"] == "dynamic"
+
+    def test_improves_on_start(self, small_space, quadratic_objective):
+        start = {"p1": 16, "p2": 2, "sched": "dynamic", "order": (0, 1, 2)}
+        expert = expert_search(small_space, quadratic_objective, start)
+        assert quadratic_objective(expert).value <= quadratic_objective(start).value
+
+    def test_requires_feasible_start(self, small_space, quadratic_objective):
+        with pytest.raises(ValueError):
+            expert_search(
+                small_space,
+                quadratic_objective,
+                {"p1": 2, "p2": 16, "sched": "static", "order": (0, 1, 2)},
+            )
+
+    def test_result_is_feasible(self, paper_cot_space):
+        from repro.core.result import ObjectiveResult
+
+        def objective(config):
+            return ObjectiveResult(float(sum(config.values())))
+
+        start = {"p1": 4, "p2": 4, "p3": 4, "p4": 4, "p5": 8}
+        expert = expert_search(paper_cot_space, objective, start)
+        assert paper_cot_space.is_feasible(expert)
+
+
+class TestBenchmarkEvaluation:
+    def test_random_configurations_evaluate(self, rng):
+        for name in ("taco_ttv_facebook", "rise_mm_gpu", "hpvm_preeuler"):
+            benchmark = get_benchmark(name)
+            for config in benchmark.space.sample(rng, 10):
+                result = benchmark.evaluate(config)
+                assert result.value > 0 or not result.feasible
+
+    def test_hidden_constraints_actually_trigger(self, rng):
+        """Benchmarks marked H produce some infeasible evaluations under random sampling."""
+        benchmark = get_benchmark("rise_mm_gpu")
+        results = [benchmark.evaluate(c) for c in benchmark.space.sample(rng, 200)]
+        assert any(not r.feasible for r in results)
+        assert any(r.feasible for r in results)
