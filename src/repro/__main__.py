@@ -1,0 +1,259 @@
+"""Command-line interface for the experiment orchestrator: ``python -m repro``.
+
+Three subcommands operate on the (benchmark, tuner, budget, seed) cell grid:
+
+* ``sweep``  — execute the grid (in parallel with ``--workers``), skipping
+  cells already satisfied by the on-disk cache and checkpointing progress in
+  the sweep manifest so an interrupted sweep resumes where it left off,
+* ``status`` — summarize the grid against the cache and manifest without
+  running anything,
+* ``report`` — render a benchmark x tuner table of best-found values from
+  cached histories only.
+
+Examples::
+
+    PYTHONPATH=src python -m repro sweep --workers 4
+    PYTHONPATH=src python -m repro sweep --benchmarks hpvm_bfs hpvm_audio \\
+        --tuners "Uniform Sampling" "CoT Sampling" --repetitions 2 --workers 2
+    PYTHONPATH=src python -m repro status
+    PYTHONPATH=src python -m repro report --benchmarks rise_scal_gpu
+
+Environment variables (``REPRO_*``, see :mod:`repro.experiments.config`)
+provide the defaults; command-line flags override them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import replace
+from pathlib import Path
+
+from .core.result import TuningHistory
+from .experiments.config import ExperimentConfig, default_config
+from .experiments.figures import suite_benchmarks
+from .experiments.orchestrator import (
+    cell_cache_path,
+    enumerate_cells,
+    load_manifest,
+    manifest_path,
+    run_cells,
+)
+from .experiments.reporting import format_cell_event, format_sweep_summary, format_table
+from .experiments.runner import MAIN_TUNERS, TUNER_VARIANTS
+from .workloads.registry import benchmark_names
+
+__all__ = ["main"]
+
+
+def _add_grid_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--benchmarks", nargs="+", default=["suite"], metavar="NAME",
+        help="benchmark instance names, or 'suite' (configured subset) / 'all' "
+             "(every registry instance); default: suite",
+    )
+    parser.add_argument(
+        "--tuners", nargs="+", default=["main"], metavar="NAME",
+        help="tuner variant names, or 'main' (the five Fig. 5/7 tuners) / 'all'; "
+             "default: main",
+    )
+    parser.add_argument(
+        "--budget", type=int, default=None,
+        help="override the per-benchmark scaled Table 3 budget",
+    )
+    parser.add_argument(
+        "--repetitions", type=int, default=None, help="seeds per (benchmark, tuner) pair"
+    )
+    parser.add_argument("--seed", type=int, default=None, help="base random seed")
+    parser.add_argument(
+        "--fidelity", choices=("fast", "paper"), default=None, help="optimizer effort level"
+    )
+    parser.add_argument(
+        "--budget-scale", type=float, default=None,
+        help="fraction of the Table 3 budgets to use",
+    )
+    parser.add_argument(
+        "--cache-dir", type=Path, default=None, help="tuning-history cache directory"
+    )
+
+
+def _build_config(args: argparse.Namespace) -> ExperimentConfig:
+    config = default_config()
+    overrides = {
+        "repetitions": args.repetitions,
+        "base_seed": args.seed,
+        "fidelity": args.fidelity,
+        "budget_scale": getattr(args, "budget_scale", None),
+        "cache_dir": args.cache_dir,
+        "workers": getattr(args, "workers", None),
+        "timeout": getattr(args, "timeout", None),
+        "retries": getattr(args, "retries", None),
+    }
+    if getattr(args, "no_resume", False):
+        overrides["resume"] = False
+    if getattr(args, "no_cache", False):
+        overrides["use_cache"] = False
+    return replace(config, **{k: v for k, v in overrides.items() if v is not None})
+
+
+def _resolve_benchmarks(tokens: list[str], config: ExperimentConfig) -> list[str]:
+    names: list[str] = []
+    for token in tokens:
+        if token == "suite":
+            names.extend(n for group in suite_benchmarks(config).values() for n in group)
+        elif token == "all":
+            names.extend(benchmark_names())
+        else:
+            names.append(token)
+    return list(dict.fromkeys(names))
+
+
+def _resolve_tuners(tokens: list[str]) -> list[str]:
+    names: list[str] = []
+    for token in tokens:
+        if token == "main":
+            names.extend(MAIN_TUNERS)
+        elif token == "all":
+            names.extend(TUNER_VARIANTS)
+        elif token in TUNER_VARIANTS:
+            names.append(token)
+        else:
+            raise SystemExit(
+                f"unknown tuner {token!r}; available: {sorted(TUNER_VARIANTS)}"
+            )
+    return list(dict.fromkeys(names))
+
+
+# ---------------------------------------------------------------------------
+# subcommands
+# ---------------------------------------------------------------------------
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    config = _build_config(args)
+    cells = enumerate_cells(
+        _resolve_benchmarks(args.benchmarks, config),
+        _resolve_tuners(args.tuners),
+        config,
+        budget=args.budget,
+    )
+    on_event = None if args.quiet else lambda event: print(format_cell_event(event), flush=True)
+    result = run_cells(cells, config, on_event=on_event)
+    print(format_sweep_summary(result.counts, result.elapsed, config.workers))
+    if result.manifest_file is not None:
+        print(f"manifest: {result.manifest_file}")
+    for outcome in result.failures:
+        print(f"  failed: {outcome.cell.key}: {outcome.error}", file=sys.stderr)
+    return 1 if result.failures else 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    config = _build_config(args)
+    cells = enumerate_cells(
+        _resolve_benchmarks(args.benchmarks, config),
+        _resolve_tuners(args.tuners),
+        config,
+        budget=args.budget,
+    )
+    cached = sum(1 for cell in cells if cell_cache_path(config, cell).exists())
+    manifest = load_manifest(config)
+    statuses: dict[str, int] = {}
+    for entry in manifest["cells"].values():
+        statuses[entry.get("status", "?")] = statuses.get(entry.get("status", "?"), 0) + 1
+    print(f"grid: {len(cells)} cells ({cached} cached, {len(cells) - cached} missing)")
+    print(f"cache dir: {config.cache_dir}")
+    if manifest["cells"]:
+        rendered = ", ".join(f"{count} {status}" for status, count in sorted(statuses.items()))
+        print(f"manifest: {manifest_path(config)} — {rendered}")
+    else:
+        print("manifest: (no sweep recorded yet)")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    config = _build_config(args)
+    benchmarks = _resolve_benchmarks(args.benchmarks, config)
+    tuners = _resolve_tuners(args.tuners)
+    headers = ["Benchmark", *tuners]
+    rows = []
+    for name in benchmarks:
+        cells = enumerate_cells([name], tuners, config, budget=args.budget)
+        per_tuner: dict[str, list[float]] = {tuner: [] for tuner in tuners}
+        for cell in cells:
+            path = cell_cache_path(config, cell)
+            if not path.exists():
+                continue
+            try:
+                history = TuningHistory.from_dict(json.loads(path.read_text()))
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                continue
+            per_tuner[cell.tuner].append(history.best_value())
+        row = [name]
+        seeds = config.repetitions
+        for tuner in tuners:
+            values = per_tuner[tuner]
+            if values:
+                row.append(f"{sum(values) / len(values):.4g} ({len(values)}/{seeds})")
+            else:
+                row.append(f"— (0/{seeds})")
+        rows.append(row)
+    print(format_table(headers, rows, title="mean best value over cached seeds"))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Parallel experiment orchestration for the BaCO reproduction.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="execute the (benchmark, tuner, seed) grid"
+    )
+    _add_grid_options(sweep_parser)
+    sweep_parser.add_argument(
+        "--workers", type=int, default=None, help="parallel worker processes (default: 1)"
+    )
+    sweep_parser.add_argument(
+        "--timeout", type=float, default=None, help="per-cell timeout in seconds"
+    )
+    sweep_parser.add_argument(
+        "--retries", type=int, default=None, help="re-attempts per failed cell"
+    )
+    sweep_parser.add_argument(
+        "--no-resume", action="store_true",
+        help="recompute every cell instead of skipping cached ones",
+    )
+    sweep_parser.add_argument(
+        "--no-cache", action="store_true", help="do not read or write the history cache"
+    )
+    sweep_parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-cell progress lines"
+    )
+    sweep_parser.set_defaults(handler=_cmd_sweep)
+
+    status_parser = subparsers.add_parser(
+        "status", help="summarize cache / manifest coverage of the grid"
+    )
+    _add_grid_options(status_parser)
+    status_parser.set_defaults(handler=_cmd_status)
+
+    report_parser = subparsers.add_parser(
+        "report", help="tabulate best-found values from cached histories"
+    )
+    _add_grid_options(report_parser)
+    report_parser.set_defaults(handler=_cmd_report)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except (KeyError, ValueError) as exc:
+        # bad grid arguments (unknown benchmark, invalid config values, ...)
+        message = exc.args[0] if exc.args else exc
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

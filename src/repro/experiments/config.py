@@ -15,6 +15,10 @@ variable                 meaning                                  default
 ``REPRO_CACHE_DIR``      on-disk cache for tuning histories       results/cache
 ``REPRO_USE_CACHE``      reuse cached histories ("1"/"0")         1
 ``REPRO_FULL_SUITE``     run all 25 instances in the big sweeps   0
+``REPRO_WORKERS``        parallel worker processes per sweep      1
+``REPRO_TIMEOUT``        per-cell timeout in seconds (0 = none)   0
+``REPRO_RETRIES``        re-attempts per failed / timed-out cell  0
+``REPRO_RESUME``         skip cells already in the cache ("1")    1
 =======================  =======================================  =========
 
 Setting ``REPRO_REPETITIONS=30 REPRO_BUDGET_SCALE=1.0 REPRO_FIDELITY=paper
@@ -63,6 +67,14 @@ class ExperimentConfig:
     cache_dir: Path = field(default_factory=lambda: _repo_root() / "results" / "cache")
     use_cache: bool = True
     full_suite: bool = False
+    #: worker processes used by the experiment orchestrator (1 = serial, in-process)
+    workers: int = 1
+    #: per-cell wall-clock timeout in seconds (None = unlimited)
+    timeout: float | None = None
+    #: re-attempts granted to a failed or timed-out cell
+    retries: int = 0
+    #: skip cells whose cached history already exists; False forces recomputation
+    resume: bool = True
 
     def __post_init__(self) -> None:
         if self.repetitions < 1:
@@ -71,6 +83,12 @@ class ExperimentConfig:
             raise ValueError("budget_scale must be in (0, 1]")
         if self.fidelity not in ("fast", "paper"):
             raise ValueError("fidelity must be 'fast' or 'paper'")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError("timeout must be positive (or None)")
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
 
     def scaled_budget(self, full_budget: int) -> int:
         """Budget actually used for one benchmark after scaling."""
@@ -79,6 +97,7 @@ class ExperimentConfig:
 
 def default_config() -> ExperimentConfig:
     """Build the configuration from environment variables."""
+    timeout = _env_float("REPRO_TIMEOUT", 0.0)
     return ExperimentConfig(
         repetitions=_env_int("REPRO_REPETITIONS", 3),
         budget_scale=_env_float("REPRO_BUDGET_SCALE", 0.5),
@@ -87,4 +106,8 @@ def default_config() -> ExperimentConfig:
         cache_dir=Path(os.environ.get("REPRO_CACHE_DIR", _repo_root() / "results" / "cache")),
         use_cache=os.environ.get("REPRO_USE_CACHE", "1") != "0",
         full_suite=os.environ.get("REPRO_FULL_SUITE", "0") == "1",
+        workers=max(1, _env_int("REPRO_WORKERS", 1)),
+        timeout=timeout if timeout > 0 else None,
+        retries=max(0, _env_int("REPRO_RETRIES", 0)),
+        resume=os.environ.get("REPRO_RESUME", "1") != "0",
     )

@@ -43,11 +43,30 @@ __all__ = [
     "figure8_data",
     "figure9_data",
     "figure10_data",
+    "FIGURE8_VARIANTS",
+    "FIGURE9_VARIANTS",
+    "FIGURE10_VARIANTS",
     "SPMM_ABLATION_TENSORS",
 ]
 
 #: matrices used by the Fig. 8 / Fig. 9 SpMM studies
 SPMM_ABLATION_TENSORS = ("filter3D", "email-Enron", "amazon0312")
+
+#: Fig. 8: BO implementation comparison
+FIGURE8_VARIANTS = ("BaCO", "BaCO--", "Ytopt (GP)", "BaCO (RF surrogate)")
+
+#: Fig. 9: permutation-metric / transformation / prior ablations
+FIGURE9_VARIANTS = (
+    "BaCO",
+    "BaCO (kendall)",
+    "BaCO (hamming)",
+    "BaCO (naive permutations)",
+    "BaCO (no transformations)",
+    "BaCO (no priors)",
+)
+
+#: Fig. 10: hidden-constraint handling
+FIGURE10_VARIANTS = ("BaCO", "BaCO (no hidden constraints)", "BaCO (no feasibility limit)")
 
 #: representative per-framework subset used when REPRO_FULL_SUITE is off
 _FAST_SUBSET = {
@@ -241,22 +260,13 @@ def _spmm_study(
 def figure8_data(config: ExperimentConfig | None = None) -> dict[str, dict[str, float]]:
     """Fig. 8: BaCO vs BaCO-- vs Ytopt (GP) vs an RF-surrogate BaCO."""
     config = config or default_config()
-    variants = ("BaCO", "BaCO--", "Ytopt (GP)", "BaCO (RF surrogate)")
-    return _spmm_study(variants, config)
+    return _spmm_study(FIGURE8_VARIANTS, config)
 
 
 def figure9_data(config: ExperimentConfig | None = None) -> dict[str, dict[str, float]]:
     """Fig. 9: permutation-metric / transformation / prior ablation."""
     config = config or default_config()
-    variants = (
-        "BaCO",
-        "BaCO (kendall)",
-        "BaCO (hamming)",
-        "BaCO (naive permutations)",
-        "BaCO (no transformations)",
-        "BaCO (no priors)",
-    )
-    return _spmm_study(variants, config)
+    return _spmm_study(FIGURE9_VARIANTS, config)
 
 
 # ---------------------------------------------------------------------------
@@ -270,6 +280,5 @@ def figure10_data(config: ExperimentConfig | None = None) -> dict[str, dict[str,
     relative to expert at three evaluation checkpoints.
     """
     config = config or default_config()
-    variants = ("BaCO", "BaCO (no hidden constraints)", "BaCO (no feasibility limit)")
     benchmarks = [get_benchmark("rise_mm_gpu"), get_benchmark("rise_scal_gpu")]
-    return _checkpoint_study(variants, benchmarks, config)
+    return _checkpoint_study(FIGURE10_VARIANTS, benchmarks, config)

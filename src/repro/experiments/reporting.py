@@ -12,7 +12,14 @@ from typing import Any, Mapping, Sequence
 
 import numpy as np
 
-__all__ = ["format_table", "format_figure5", "format_checkpoint_study", "format_evolution"]
+__all__ = [
+    "format_table",
+    "format_figure5",
+    "format_checkpoint_study",
+    "format_evolution",
+    "format_cell_event",
+    "format_sweep_summary",
+]
 
 
 def _cell(value: Any) -> str:
@@ -41,6 +48,40 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]], title: s
     for row in str_rows:
         lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
     return "\n".join(lines)
+
+
+def format_cell_event(event: Any) -> str:
+    """One progress line per orchestrator cell event.
+
+    Accepts any object shaped like
+    :class:`repro.experiments.orchestrator.CellEvent`; the orchestrator streams
+    these through its ``on_event`` hook and the CLI prints them via this
+    formatter.
+    """
+    cell = event.cell
+    head = f"[{event.index:>4}/{event.total}]"
+    where = f"{cell.benchmark} | {cell.tuner} | budget={cell.budget} seed={cell.seed}"
+    if event.kind == "start":
+        return f"{head} start   {where}"
+    if event.kind == "cached":
+        return f"{head} cached  {where}"
+    if event.kind == "done":
+        return f"{head} done    {where} ({event.elapsed:.1f}s)"
+    if event.kind == "retry":
+        suffix = f": {event.error}" if event.error else ""
+        return f"{head} retry   {where} (attempt {event.attempt}{suffix})"
+    if event.kind == "failed":
+        return f"{head} FAILED  {where} after {event.attempt} attempt(s): {event.error}"
+    return f"{head} {event.kind:<7} {where}"
+
+
+def format_sweep_summary(counts: Mapping[str, int], elapsed: float, workers: int = 1) -> str:
+    """One-line sweep summary: ``12 done, 4 cached, 0 failed in 8.1s (2 workers)``."""
+    total = sum(counts.values())
+    parts = ", ".join(
+        f"{counts.get(status, 0)} {status}" for status in ("done", "cached", "failed")
+    )
+    return f"sweep: {total} cells — {parts} in {elapsed:.1f}s ({workers} worker(s))"
 
 
 def format_figure5(data: Mapping[str, Mapping[str, Mapping[str, float]]]) -> str:

@@ -140,6 +140,17 @@ def _cache_path(
     return config.cache_dir / f"{benchmark}__{safe_tuner}__b{budget}__s{seed}__{digest}.json"
 
 
+#: history fields that are wall-clock measurements, not part of the algorithmic
+#: trace.  They are cached in a ``.timing`` sidecar so the history JSON itself
+#: is a deterministic function of (benchmark, tuner, budget, seed, fidelity) —
+#: serial and parallel sweeps write bit-identical history files.
+_TIMING_FIELDS = ("tuner_seconds", "evaluation_seconds")
+
+
+def _timing_path(path: Path) -> Path:
+    return path.with_suffix(".timing")
+
+
 def run_single(
     benchmark: Benchmark | str,
     tuner_name: str,
@@ -154,14 +165,29 @@ def run_single(
     path = _cache_path(config, benchmark.name, tuner_name, budget, seed)
     if config.use_cache and path.exists():
         try:
-            return TuningHistory.from_dict(json.loads(path.read_text()))
-        except (json.JSONDecodeError, KeyError):
+            history = TuningHistory.from_dict(json.loads(path.read_text()))
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+            # malformed payloads (truncated JSON, missing keys, wrong shapes /
+            # types) all take the same unlink-and-recompute path
             path.unlink(missing_ok=True)
+        else:
+            timing_path = _timing_path(path)
+            if timing_path.exists():
+                try:
+                    timings = json.loads(timing_path.read_text())
+                    for fld in _TIMING_FIELDS:
+                        setattr(history, fld, float(timings.get(fld, 0.0)))
+                except (json.JSONDecodeError, TypeError, ValueError):
+                    pass
+            return history
     tuner = make_tuner(tuner_name, benchmark.space, seed, fidelity=config.fidelity)
     history = tuner.tune(benchmark.evaluator, budget, benchmark_name=benchmark.name)
     if config.use_cache:
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(history.to_dict()))
+        payload = history.to_dict()
+        timings = {fld: payload.pop(fld) for fld in _TIMING_FIELDS if fld in payload}
+        path.write_text(json.dumps(payload))
+        _timing_path(path).write_text(json.dumps(timings))
     return history
 
 
@@ -171,19 +197,34 @@ def run_benchmark(
     budget: int | None = None,
     config: ExperimentConfig | None = None,
 ) -> dict[str, list[TuningHistory]]:
-    """Run several tuners on one benchmark for ``config.repetitions`` seeds."""
+    """Run several tuners on one benchmark for ``config.repetitions`` seeds.
+
+    Execution is delegated to :mod:`repro.experiments.orchestrator`: with
+    ``config.workers == 1`` (the default) the cells run serially in-process
+    exactly as before; with more workers they fan out over a process pool and
+    produce bit-identical cached histories.
+    """
     config = config or default_config()
     if isinstance(benchmark, str):
         benchmark = get_benchmark(benchmark)
     budget = budget if budget is not None else config.scaled_budget(benchmark.full_budget)
-    results: dict[str, list[TuningHistory]] = {}
-    for tuner_name in tuner_names:
-        histories = []
-        for repetition in range(config.repetitions):
-            seed = config.base_seed + repetition
-            histories.append(run_single(benchmark, tuner_name, budget, seed, config))
-        results[tuner_name] = histories
-    return results
+
+    from .orchestrator import Cell, run_cells  # runner is imported by orchestrator
+
+    grid = {
+        tuner_name: [
+            Cell(benchmark.name, tuner_name, budget, config.base_seed + repetition)
+            for repetition in range(config.repetitions)
+        ]
+        for tuner_name in tuner_names
+    }
+    result = run_cells(
+        [cell for cells in grid.values() for cell in cells],
+        config,
+        benchmarks={benchmark.name: benchmark},
+        raise_on_error=True,
+    )
+    return {tuner: [result.history(cell) for cell in cells] for tuner, cells in grid.items()}
 
 
 def run_suite(
@@ -191,7 +232,11 @@ def run_suite(
     tuner_names: Sequence[str] = MAIN_TUNERS,
     config: ExperimentConfig | None = None,
 ) -> dict[str, dict[str, list[TuningHistory]]]:
-    """Run the full cross product benchmark x tuner x repetition."""
+    """Run the full cross product benchmark x tuner x repetition.
+
+    Parallelism and resume behavior follow ``config.workers`` / ``config.resume``
+    (see :mod:`repro.experiments.orchestrator`).
+    """
     config = config or default_config()
     return {
         name: run_benchmark(name, tuner_names, config=config) for name in benchmark_names

@@ -59,12 +59,17 @@ def get_benchmark(name: str) -> Benchmark:
     """Look up (and lazily build) a benchmark by its registry name."""
     if name.startswith("taco_"):
         remainder = name[len("taco_"):]
-        for expression, tensors in TACO_BENCHMARK_TENSORS.items():
+        for expression in TACO_BENCHMARK_TENSORS:
             prefix = expression + "_"
             if remainder.startswith(prefix):
-                tensor = remainder[len(prefix):]
-                if tensor in tensors:
-                    return build_taco_benchmark(expression, tensor)
+                # any tensor in the catalog resolves, not just the Table 3
+                # instances: the Fig. 8/9 ablations run SpMM on extra matrices
+                # (e.g. ``taco_spmm_filter3D``) and the parallel orchestrator
+                # re-resolves benchmarks by name inside worker processes
+                try:
+                    return build_taco_benchmark(expression, remainder[len(prefix):])
+                except KeyError:
+                    raise KeyError(f"unknown TACO benchmark {name!r}") from None
         raise KeyError(f"unknown TACO benchmark {name!r}")
     if name.startswith("rise_"):
         return build_rise_benchmark(name[len("rise_"):])

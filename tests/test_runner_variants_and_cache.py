@@ -75,6 +75,43 @@ class TestCaching:
         assert [e.value for e in recomputed] == [e.value for e in history]
         assert json.loads(next(tmp_path.glob("*.json")).read_text())
 
+    def test_malformed_cache_payload_is_recomputed(self, tmp_path):
+        """Valid JSON with the wrong shape (TypeError / ValueError territory)
+        takes the same unlink-and-recompute path as corrupt JSON."""
+        config = ExperimentConfig(repetitions=1, cache_dir=tmp_path, use_cache=True)
+        history = run_single("hpvm_bfs", "Uniform Sampling", budget=6, seed=3, config=config)
+        path = next(tmp_path.glob("*.json"))
+        malformed_payloads = [
+            # evaluations is null -> TypeError when iterating
+            json.dumps({"tuner": "Uniform Sampling", "evaluations": None}),
+            # payload is a list, not a mapping -> TypeError on key lookup
+            json.dumps([1, 2, 3]),
+            # missing keys -> KeyError
+            json.dumps({"benchmark": "hpvm_bfs"}),
+        ]
+        for payload in malformed_payloads:
+            path.write_text(payload)
+            recomputed = run_single(
+                "hpvm_bfs", "Uniform Sampling", budget=6, seed=3, config=config
+            )
+            assert [e.value for e in recomputed] == [e.value for e in history]
+            # the cache entry was rewritten with a well-formed payload
+            assert json.loads(path.read_text())["evaluations"]
+
+    def test_timing_sidecar_keeps_history_json_deterministic(self, tmp_path):
+        """Wall-clock measurements live in a ``.timing`` sidecar so the history
+        JSON is a pure function of (benchmark, tuner, budget, seed, fidelity)."""
+        config = ExperimentConfig(repetitions=1, cache_dir=tmp_path, use_cache=True)
+        first = run_single("hpvm_bfs", "Uniform Sampling", budget=6, seed=3, config=config)
+        path = next(tmp_path.glob("*.json"))
+        payload = json.loads(path.read_text())
+        assert "tuner_seconds" not in payload
+        assert "evaluation_seconds" not in payload
+        # the sidecar restores the measured timings on cache reads
+        reloaded = run_single("hpvm_bfs", "Uniform Sampling", budget=6, seed=3, config=config)
+        assert reloaded.tuner_seconds == pytest.approx(first.tuner_seconds)
+        assert reloaded.evaluation_seconds == pytest.approx(first.evaluation_seconds)
+
     def test_cache_disabled_writes_nothing(self, tmp_path):
         config = ExperimentConfig(repetitions=1, cache_dir=tmp_path, use_cache=False)
         run_single("hpvm_bfs", "CoT Sampling", budget=5, seed=0, config=config)
