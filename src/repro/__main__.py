@@ -10,6 +10,10 @@ Three subcommands operate on the (benchmark, tuner, budget, seed) cell grid:
 * ``report`` — render a benchmark x tuner table of best-found values from
   cached histories only.
 
+A fourth subcommand, ``bench``, runs the tuner hot-path microbenchmarks
+(legacy dict path vs. the vectorized encoding layer) and writes
+``BENCH_tuner_hotpath.json``.
+
 Examples::
 
     PYTHONPATH=src python -m repro sweep --workers 4
@@ -17,6 +21,7 @@ Examples::
         --tuners "Uniform Sampling" "CoT Sampling" --repetitions 2 --workers 2
     PYTHONPATH=src python -m repro status
     PYTHONPATH=src python -m repro report --benchmarks rise_scal_gpu
+    PYTHONPATH=src python -m repro bench --quick
 
 Environment variables (``REPRO_*``, see :mod:`repro.experiments.config`)
 provide the defaults; command-line flags override them.
@@ -201,6 +206,35 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .experiments.hotpath_bench import run_hotpath_benchmarks, write_results
+
+    scale = 0.25 if args.quick else 1.0
+    payload = run_hotpath_benchmarks(
+        n_distance_configs=max(20, int(args.distance_configs * scale)),
+        n_train=max(10, int(args.train * scale)),
+        n_candidates=max(50, int(args.candidates * scale)),
+        repeats=args.repeats,
+    )
+    headers = ["Section", "Legacy", "Vectorized", "Speedup"]
+    rows = []
+    for name, section in payload["sections"].items():
+        legacy_s = section.get("legacy_seconds")
+        new_s = section.get("vectorized_seconds", section.get("incremental_seconds"))
+        rows.append(
+            [
+                name,
+                f"{legacy_s * 1e3:.1f} ms",
+                f"{new_s * 1e3:.1f} ms",
+                f"{section['speedup']:.1f}x",
+            ]
+        )
+    print(format_table(headers, rows, title="tuner hot path: legacy dicts vs encoded rows"))
+    path = write_results(payload, args.out)
+    print(f"wrote {path}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -244,6 +278,33 @@ def main(argv: list[str] | None = None) -> int:
     )
     _add_grid_options(report_parser)
     report_parser.set_defaults(handler=_cmd_report)
+
+    bench_parser = subparsers.add_parser(
+        "bench", help="run the tuner hot-path microbenchmarks"
+    )
+    bench_parser.add_argument(
+        "--out", type=Path, default=Path("BENCH_tuner_hotpath.json"),
+        help="output JSON path (default: BENCH_tuner_hotpath.json)",
+    )
+    bench_parser.add_argument(
+        "--distance-configs", type=int, default=300,
+        help="batch size for the distance-matrix build section",
+    )
+    bench_parser.add_argument(
+        "--train", type=int, default=80, help="GP training-set size"
+    )
+    bench_parser.add_argument(
+        "--candidates", type=int, default=1000,
+        help="candidate batch size for the EI-maximization section",
+    )
+    bench_parser.add_argument(
+        "--repeats", type=int, default=3, help="timing repeats (minimum is reported)"
+    )
+    bench_parser.add_argument(
+        "--quick", action="store_true",
+        help="quarter-size problem instances (CI smoke mode)",
+    )
+    bench_parser.set_defaults(handler=_cmd_bench)
 
     args = parser.parse_args(argv)
     try:

@@ -18,6 +18,7 @@ matrix does).
 from __future__ import annotations
 
 import math
+import zlib
 from dataclasses import dataclass, field
 from functools import lru_cache
 
@@ -88,7 +89,10 @@ def generate_tensor(
         raise ValueError("nnz must be positive")
     if any(dim <= 0 for dim in shape):
         raise ValueError("all tensor dimensions must be positive")
-    rng = np.random.default_rng(seed ^ (hash(name) & 0xFFFF))
+    # zlib.crc32, not hash(): str hashing is randomized per process, which
+    # would make tensor contents -- and every TACO objective value -- differ
+    # between processes and break the orchestrator's bit-identical guarantee
+    rng = np.random.default_rng(seed ^ (zlib.crc32(name.encode()) & 0xFFFF))
     n_rows = shape[0]
     mean_per_row = nnz / n_rows
     if distribution == "uniform":

@@ -11,6 +11,11 @@ BaCO uses Expected Improvement (EI) with two modifications (Sec. 3.3 and 4.2):
 
 All functions operate on the GP's *model scale* (log-transformed and
 standardized objective), in minimization form.
+
+:class:`AcquisitionFunction` is batch-first: a call encodes the whole
+candidate set once, runs a single GP predict over the encoded rows, and —
+when the feasibility model shares the GP's encoding layout — reuses the same
+rows for a single batched random-forest pass.
 """
 
 from __future__ import annotations
@@ -91,20 +96,43 @@ class AcquisitionFunction:
         self.noiseless = noiseless
         self.kind = kind
         self.lcb_beta = lcb_beta
+        # The GP encodes with the (possibly transform-adjusted) model space,
+        # the feasibility model with the original space.  When the two
+        # layouts warp values identically, one encoded matrix serves both.
+        self._shared_encoding = (
+            feasibility_model is not None
+            and hasattr(model, "encoder")
+            and hasattr(feasibility_model, "encoder")
+            and model.encoder.signature() == feasibility_model.encoder.signature()
+        )
 
     def __call__(self, configurations: Sequence[Mapping[str, Any]]) -> np.ndarray:
-        """Acquisition values (larger is better) for a batch of configurations."""
+        """Acquisition values (larger is better) for a batch of configurations.
+
+        The batch is encoded once and pushed through a single GP predict
+        call (and, when trained, a single feasibility-model pass).
+        """
         if not configurations:
             return np.empty(0)
-        mean, variance = self.model.predict(
-            configurations, include_noise=not self.noiseless
-        )
+        rows = None
+        if hasattr(self.model, "encoder"):
+            rows = self.model.encoder.encode_batch(configurations)
+            mean, variance = self.model.predict_rows(
+                rows, include_noise=not self.noiseless
+            )
+        else:
+            mean, variance = self.model.predict(
+                configurations, include_noise=not self.noiseless
+            )
         if self.kind == "ei":
             values = expected_improvement(mean, variance, self._best_model_scale)
         else:
             values = lower_confidence_bound(mean, variance, self.lcb_beta)
         if self.feasibility_model is not None and self.feasibility_model.is_trained:
-            probability = self.feasibility_model.predict_probability(configurations)
+            if self._shared_encoding and rows is not None:
+                probability = self.feasibility_model.predict_probability_rows(rows)
+            else:
+                probability = self.feasibility_model.predict_probability(configurations)
             values = values * probability
             values = np.where(
                 probability >= self.feasibility_threshold, values, -np.inf

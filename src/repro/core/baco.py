@@ -25,24 +25,44 @@ threshold, and the surrogate family (GP vs. RF).
 
 from __future__ import annotations
 
-import copy
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
 import numpy as np
 
+from ..models.distances import DistanceComputer, IncrementalDistanceTensor
 from ..models.gp import GaussianProcess
 from ..models.priors import GammaPrior
 from ..models.random_forest import RandomForestRegressor
-from ..space.parameters import PermutationParameter
+from ..space.parameters import (
+    IntegerParameter,
+    OrdinalParameter,
+    Parameter,
+    PermutationParameter,
+    RealParameter,
+)
 from ..space.space import Configuration, SearchSpace
 from .acquisition import AcquisitionFunction
 from .doe import default_doe_size, initial_design
 from .feasibility import FeasibilityModel, FeasibilityThresholdSchedule
 from .local_search import LocalSearchSettings, multistart_local_search, random_candidates
+from .result import ObjectiveResult
 from .tuner import Tuner
 
 __all__ = ["BacoSettings", "BacoTuner"]
+
+
+def _without_log_transform(param: Parameter) -> Parameter:
+    """A linear-transform clone of a numeric parameter (BaCO-- ablation)."""
+    if isinstance(param, RealParameter):
+        return RealParameter(param.name, param.low, param.high, default=param.default)
+    if isinstance(param, IntegerParameter):
+        return IntegerParameter(param.name, param.low, param.high, default=param.default)
+    if isinstance(param, OrdinalParameter):
+        return OrdinalParameter(param.name, param.values, default=param.default)
+    raise TypeError(
+        f"cannot strip the log transform from {type(param).__name__}"
+    )
 
 
 @dataclass
@@ -124,6 +144,18 @@ class BacoTuner(Tuner):
             max_threshold=self.settings.epsilon_max,
             enabled=self.settings.use_feasibility_threshold,
         )
+        # Shared encoding layer: one distance computer (and encoder) reused
+        # by every per-iteration GP instance, plus per-observation caches
+        # maintained by _observe() so the learning loop never re-encodes or
+        # re-copies the history.
+        self._model_distance = DistanceComputer(self._model_space.parameters)
+        self._gp_distance_cache = IncrementalDistanceTensor(self._model_distance)
+        self._space_encoder = space.encoder
+        self._space_rows_all: list[np.ndarray] = []
+        self._space_rows_feasible: list[np.ndarray] = []
+        self._feasible_values: list[float] = []
+        self._feasible_flags: list[bool] = []
+        self._evaluated_keys: set[tuple] = set()
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -132,19 +164,28 @@ class BacoTuner(Tuner):
 
         The *model* space only affects distances inside the surrogate; the
         original space is still used for sampling and constraint handling, so
-        both always agree on which configurations are feasible.
+        both always agree on which configurations are feasible.  Parameters
+        are immutable, so untouched ones are shared with the original space
+        rather than deep-copied.
         """
-        parameters = []
+        parameters: list[Parameter] = []
         for param in space.parameters:
-            clone = copy.deepcopy(param)
-            if isinstance(clone, PermutationParameter):
-                metric = settings.permutation_metric
-                clone = PermutationParameter(
-                    clone.name, clone.n_elements, metric=metric, default=clone.default
+            if isinstance(param, PermutationParameter):
+                parameters.append(
+                    PermutationParameter(
+                        param.name,
+                        param.n_elements,
+                        metric=settings.permutation_metric,
+                        default=param.default,
+                    )
                 )
-            elif not settings.use_transformations and getattr(clone, "transform", "linear") == "log":
-                clone.transform = "linear"
-            parameters.append(clone)
+            elif (
+                not settings.use_transformations
+                and getattr(param, "transform", "linear") == "log"
+            ):
+                parameters.append(_without_log_transform(param))
+            else:
+                parameters.append(param)
         # constraints are irrelevant for distance computations
         return SearchSpace(parameters, constraints=[], build_chain_of_trees=False)
 
@@ -161,10 +202,40 @@ class BacoTuner(Tuner):
             max_optimizer_iterations=self.settings.gp_max_iterations,
             advanced_fit=self.settings.advanced_gp_fitting,
             rng=self._rng,
+            distance_computer=self._model_distance,
         )
 
     # ------------------------------------------------------------------
+    def _reset_caches(self) -> None:
+        self._gp_distance_cache.reset()
+        self._space_rows_all.clear()
+        self._space_rows_feasible.clear()
+        self._feasible_values.clear()
+        self._feasible_flags.clear()
+        self._evaluated_keys.clear()
+
+    def _observe(self, configuration: Mapping[str, Any], result: ObjectiveResult) -> None:
+        """Keep the encoded-row caches in step with the recorded history.
+
+        Each evaluated configuration is encoded exactly once per encoder;
+        feasible observations additionally extend the incremental train-train
+        distance tensor by a single cross block, so the next GP fit starts
+        from a fully built Gram input.
+        """
+        row = self._space_encoder.encode(configuration)
+        self._space_rows_all.append(row)
+        self._feasible_flags.append(result.feasible)
+        self._evaluated_keys.add(self.space.freeze(configuration))
+        if result.feasible:
+            self._space_rows_feasible.append(row)
+            self._feasible_values.append(result.value)
+            self._gp_distance_cache.append(
+                self._model_distance.encoder.encode(configuration)[None, :]
+            )
+
+    # ------------------------------------------------------------------
     def _run(self, budget: int) -> None:
+        self._reset_caches()
         doe_size = self.settings.doe_size or default_doe_size(self.space, budget)
         doe_size = min(doe_size, budget)
         for config in initial_design(self.space, doe_size, self._rng):
@@ -179,29 +250,36 @@ class BacoTuner(Tuner):
     # ------------------------------------------------------------------
     def _recommend(self) -> Configuration:
         """One learning-phase recommendation."""
-        history = self.history
-        feasible = history.feasible_evaluations
-        evaluated_keys = {self.space.freeze(e.configuration) for e in history}
+        evaluated_keys = self._evaluated_keys
+        values = self._feasible_values
 
         if self._feasibility is not None:
-            self._feasibility.fit(
-                [e.configuration for e in history],
-                [e.feasible for e in history],
+            self._feasibility.fit_rows(
+                np.vstack(self._space_rows_all), self._feasible_flags
             )
 
         # Not enough feasible data to fit the surrogate: keep exploring randomly.
-        if len(feasible) < 2 or len({e.value for e in feasible}) < 2:
+        if len(values) < 2 or len(set(values)) < 2:
             return self._random_fallback(evaluated_keys)
 
         surrogate = self._make_surrogate()
-        configs = [e.configuration for e in feasible]
-        values = [e.value for e in feasible]
         if isinstance(surrogate, RandomForestRegressor):
-            acquisition = self._fit_rf_acquisition(surrogate, configs, values)
-            best_value_model = min(np.log(values)) if self.settings.use_transformations else min(values)
+            acquisition = self._fit_rf_acquisition(surrogate, values)
         else:
+            if len(self._gp_distance_cache) != len(values):
+                # programming error (e.g. an _observe override skipping
+                # super()), not a numerical failure: crash rather than let
+                # the except below silently degrade BaCO to random search
+                raise RuntimeError(
+                    f"incremental distance cache holds {len(self._gp_distance_cache)} "
+                    f"rows but there are {len(values)} feasible observations"
+                )
             try:
-                surrogate.fit(configs, values)
+                surrogate.fit_rows(
+                    self._gp_distance_cache.rows,
+                    values,
+                    distance_tensor=self._gp_distance_cache.tensor,
+                )
             except (ValueError, np.linalg.LinAlgError):
                 return self._random_fallback(evaluated_keys)
             epsilon = self._epsilon_schedule.sample(self._rng)
@@ -226,12 +304,12 @@ class BacoTuner(Tuner):
         return config
 
     # ------------------------------------------------------------------
-    def _fit_rf_acquisition(self, surrogate, configs, values):
+    def _fit_rf_acquisition(self, surrogate, values):
         """EI over an RF surrogate (used for the Fig. 8 GP-vs-RF comparison)."""
         from scipy import stats
 
         targets = np.log(values) if self.settings.use_transformations else np.asarray(values, dtype=float)
-        features = self.space.encode_many(configs)
+        features = np.vstack(self._space_rows_feasible)
         surrogate.fit(features, targets)
         best = float(np.min(targets))
         feasibility = self._feasibility
@@ -239,7 +317,9 @@ class BacoTuner(Tuner):
         space = self.space
 
         def acquisition(candidates):
-            feats = space.encode_many(candidates)
+            # one shared encode: the RF surrogate and the feasibility model
+            # both consume the original space's encoding
+            feats = space.encode_batch(candidates)
             mean, var = surrogate.predict_with_uncertainty(feats)
             std = np.sqrt(np.maximum(var, 1e-18))
             improvement = best - mean
@@ -247,7 +327,7 @@ class BacoTuner(Tuner):
             ei = improvement * stats.norm.cdf(z) + std * stats.norm.pdf(z)
             ei = np.maximum(ei, 0.0)
             if feasibility is not None and feasibility.is_trained:
-                probability = feasibility.predict_probability(candidates)
+                probability = feasibility.predict_probability_rows(feats)
                 ei = np.where(probability >= epsilon, ei * probability, -np.inf)
             return ei
 

@@ -49,14 +49,26 @@ class FeasibilityModel:
         """The model is only useful once both classes have been observed."""
         return self._n_feasible > 0 and self._n_infeasible > 0 and self._forest.is_fitted
 
+    @property
+    def encoder(self):
+        """The space's shared :class:`~repro.space.encoding.ConfigEncoder`."""
+        return self.space.encoder
+
     def fit(
         self,
         configurations: Sequence[Mapping[str, Any]],
         feasible: Sequence[bool],
     ) -> None:
-        """(Re-)train on every configuration evaluated so far."""
-        if len(configurations) != len(feasible):
-            raise ValueError("configurations and labels must have the same length")
+        """(Re-)train on every configuration evaluated so far.
+
+        Thin adapter over :meth:`fit_rows` for configuration dicts.
+        """
+        self.fit_rows(self.encoder.encode_batch(configurations), feasible)
+
+    def fit_rows(self, rows: np.ndarray, feasible: Sequence[bool]) -> None:
+        """(Re-)train on pre-encoded rows."""
+        if len(rows) != len(feasible):
+            raise ValueError("rows and labels must have the same length")
         labels = np.asarray([1.0 if f else 0.0 for f in feasible])
         self._n_feasible = int(labels.sum())
         self._n_infeasible = int(len(labels) - labels.sum())
@@ -64,23 +76,29 @@ class FeasibilityModel:
             # Only one class seen: the classifier would be degenerate; predict
             # the observed class probability instead (handled in predict).
             return
-        features = self.space.encode_many(configurations)
-        self._forest.fit(features, labels)
+        self._forest.fit(rows, labels)
+
+    def _untrained_probability(self, n: int) -> np.ndarray:
+        # With no evidence of infeasibility (or none of feasibility) fall
+        # back to an uninformative estimate.
+        total = self._n_feasible + self._n_infeasible
+        if total == 0:
+            return np.ones(n)
+        return np.full(n, (self._n_feasible + 1.0) / (total + 2.0))
 
     def predict_probability(
         self, configurations: Sequence[Mapping[str, Any]]
     ) -> np.ndarray:
         """Probability that each configuration satisfies the hidden constraints."""
-        n = len(configurations)
         if not self.is_trained:
-            # With no evidence of infeasibility (or none of feasibility) fall
-            # back to an uninformative estimate.
-            total = self._n_feasible + self._n_infeasible
-            if total == 0:
-                return np.ones(n)
-            return np.full(n, (self._n_feasible + 1.0) / (total + 2.0))
-        features = self.space.encode_many(configurations)
-        return self._forest.predict_proba(features)
+            return self._untrained_probability(len(configurations))
+        return self._forest.predict_proba(self.encoder.encode_batch(configurations))
+
+    def predict_probability_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Feasibility probabilities for pre-encoded rows (batched RF pass)."""
+        if not self.is_trained:
+            return self._untrained_probability(len(rows))
+        return self._forest.predict_proba(rows)
 
 
 class FeasibilityThresholdSchedule:

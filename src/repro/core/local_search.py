@@ -13,6 +13,13 @@ BaCO optimizes its acquisition function (Sec. 3.3) by
 Because known constraints are enforced when generating both the random batch
 and the neighbourhoods, the acquisition optimizer only ever proposes feasible
 configurations.
+
+The hill-climbing phase runs all starts in **lockstep**: at every step the
+neighbourhoods of every still-active start are concatenated and scored with
+a *single* acquisition call — one batched GP predict and one batched
+feasibility pass per step, instead of one per start.  Each start still takes
+its own argmax over its own neighbourhood slice, so the per-start climbing
+trajectories are exactly those of the sequential formulation.
 """
 
 from __future__ import annotations
@@ -86,21 +93,40 @@ def multistart_local_search(
     starts = [candidates[i] for i in order[: settings.n_starts]]
     start_values = [float(values[i]) for i in order[: settings.n_starts]]
 
+    # Lockstep hill climbing: per step, one batched acquisition call scores
+    # the union of every active start's neighbourhood; each start then takes
+    # the argmax within its own slice, exactly as if it climbed alone.
+    current = list(starts)
+    current_values = list(start_values)
+    active = list(range(len(starts)))
+    for _ in range(settings.max_steps):
+        if not active:
+            break
+        batch: list[Configuration] = []
+        spans: list[tuple[int, int, int]] = []  # (start index, lo, hi)
+        for i in active:
+            neighbours = space.neighbours(current[i], feasible_only=True)
+            if neighbours:
+                spans.append((i, len(batch), len(batch) + len(neighbours)))
+                batch.extend(neighbours)
+        if not batch:
+            break
+        batch_values = np.asarray(acquisition(batch), dtype=float)
+        still_active: list[int] = []
+        for i, lo, hi in spans:
+            span_values = batch_values[lo:hi]
+            idx = int(np.argmax(span_values))
+            if span_values[idx] <= current_values[i]:
+                continue
+            current[i] = batch[lo + idx]
+            current_values[i] = float(span_values[idx])
+            still_active.append(i)
+        active = still_active
+
     best_config: Configuration | None = None
     best_value = -np.inf
-
-    for config, value in zip(starts, start_values):
-        current, current_value = config, value
-        for _ in range(settings.max_steps):
-            neighbours = space.neighbours(current, feasible_only=True)
-            if not neighbours:
-                break
-            neighbour_values = np.asarray(acquisition(neighbours), dtype=float)
-            idx = int(np.argmax(neighbour_values))
-            if neighbour_values[idx] <= current_value:
-                break
-            current, current_value = neighbours[idx], float(neighbour_values[idx])
-        candidate_pool = [(current, current_value), (config, value)]
+    for i, (config, value) in enumerate(zip(starts, start_values)):
+        candidate_pool = [(current[i], current_values[i]), (config, value)]
         for cand, cand_value in candidate_pool:
             if space.freeze(cand) in excluded:
                 continue

@@ -59,7 +59,16 @@ class Tuner(ABC):
         result = self._objective(configuration)
         self._history.evaluation_seconds += time.perf_counter() - start
         self._history.append(configuration, result, phase=phase)
+        self._observe(configuration, result)
         return result
+
+    def _observe(self, configuration: Mapping[str, Any], result: ObjectiveResult) -> None:
+        """Hook called after each evaluation is recorded.
+
+        Subclasses override this to maintain per-observation caches (encoded
+        feature rows, incremental distance tensors, ...) in step with the
+        history instead of re-deriving them every iteration.
+        """
 
     @property
     def history(self) -> TuningHistory:

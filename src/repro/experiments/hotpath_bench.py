@@ -1,0 +1,266 @@
+"""Microbenchmarks for the tuner's per-iteration hot path.
+
+Measures the three inner loops that dominate BaCO's overhead between black-box
+evaluations (PAPER.md Fig. 2, Table 10 wall-clock):
+
+* **distance_build** — building the per-dimension train-train distance tensor
+  for a batch of configurations,
+* **gp_fit** — one learning-phase GP fit after appending a single new
+  observation (the incremental-tensor case vs. a full recompute),
+* **ei_maximization** — scoring a candidate batch with feasibility-weighted
+  EI (cross distances, kernel, RF feasibility pass).
+
+Each section times the **legacy** path — per-call feature re-derivation from
+raw configuration dicts, the per-pair Kendall double loop, per-row decision
+tree traversal — against the **vectorized** encoding-layer path
+(``ConfigEncoder`` rows + ``DistanceComputer.pairwise_rows`` + batched RF),
+and reports throughput plus speedup.  Results are written as JSON
+(``BENCH_tuner_hotpath.json``) to seed the performance trajectory; run it via
+``python -m repro bench``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Any, Callable
+
+import numpy as np
+
+from ..core.acquisition import AcquisitionFunction
+from ..core.feasibility import FeasibilityModel
+from ..models.distances import DistanceComputer
+from ..models.gp import GaussianProcess
+from ..space.parameters import (
+    CategoricalParameter,
+    IntegerParameter,
+    OrdinalParameter,
+    PermutationParameter,
+    RealParameter,
+)
+from ..space.space import SearchSpace
+
+__all__ = ["DEFAULT_OUTPUT", "hotpath_space", "run_hotpath_benchmarks"]
+
+DEFAULT_OUTPUT = Path("BENCH_tuner_hotpath.json")
+
+
+def hotpath_space(permutation_metric: str = "kendall") -> SearchSpace:
+    """A representative mixed-type space for the hot-path benchmarks.
+
+    Shaped like the paper's RISE/TACO spaces: log-warped tile sizes, an
+    integer and a real knob, a categorical scheduling choice, and a loop-order
+    permutation.  The permutation metric defaults to Kendall because that is
+    the semimetric whose legacy implementation was a per-pair Python double
+    loop (Spearman/Hamming were already matrix-form).
+    """
+    return SearchSpace(
+        [
+            OrdinalParameter("tile_x", [2, 4, 8, 16, 32, 64, 128], transform="log"),
+            OrdinalParameter("tile_y", [2, 4, 8, 16, 32, 64, 128], transform="log"),
+            IntegerParameter("unroll", 1, 32, transform="log"),
+            RealParameter("threshold", 0.01, 10.0, transform="log"),
+            CategoricalParameter("sched", ["static", "dynamic", "guided", "auto"]),
+            PermutationParameter("loop_order", 6, metric=permutation_metric),
+        ],
+        build_chain_of_trees=False,
+    )
+
+
+def _sample_configs(space: SearchSpace, n: int, seed: int) -> list[dict[str, Any]]:
+    rng = np.random.default_rng(seed)
+    return [{p.name: p.sample(rng) for p in space.parameters} for _ in range(n)]
+
+
+def _best_of(fn: Callable[[], Any], repeats: int) -> float:
+    """Minimum wall-clock seconds over ``repeats`` runs (one warm-up)."""
+    fn()
+    best = np.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return float(best)
+
+
+# ---------------------------------------------------------------------------
+# sections
+# ---------------------------------------------------------------------------
+
+def _bench_distance_build(space: SearchSpace, n: int, repeats: int) -> dict[str, Any]:
+    configs = _sample_configs(space, n, seed=7)
+    computer = DistanceComputer(space.parameters)
+
+    legacy_s = _best_of(lambda: computer.pairwise_reference(configs), repeats)
+
+    def vectorized() -> np.ndarray:
+        rows = computer.encoder.encode_batch(configs)
+        return computer.pairwise_rows(rows)
+
+    vector_s = _best_of(vectorized, repeats)
+    return {
+        "n_configs": n,
+        "legacy_seconds": legacy_s,
+        "vectorized_seconds": vector_s,
+        "legacy_configs_per_sec": n / legacy_s,
+        "vectorized_configs_per_sec": n / vector_s,
+        "speedup": legacy_s / vector_s,
+    }
+
+
+def _bench_gp_fit(space: SearchSpace, n_train: int, repeats: int) -> dict[str, Any]:
+    configs = _sample_configs(space, n_train, seed=11)
+    values = list(np.random.default_rng(12).uniform(0.5, 5.0, size=n_train))
+    computer = DistanceComputer(space.parameters)
+    rows = computer.encoder.encode_batch(configs)
+
+    def make_gp() -> GaussianProcess:
+        # fixed fitting effort + seed: both paths do identical hyper-parameter
+        # work, so the difference isolates the distance/bookkeeping cost
+        return GaussianProcess(
+            space.parameters,
+            n_prior_samples=8,
+            n_refined_starts=1,
+            max_optimizer_iterations=10,
+            rng=np.random.default_rng(13),
+            distance_computer=computer,
+        )
+
+    def legacy_iteration() -> None:
+        # pre-refactor shape of one learning iteration: re-derive the full
+        # train-train tensor from the raw dicts, then fit
+        tensor = computer.pairwise_reference(configs)
+        make_gp().fit_rows(rows, values, distance_tensor=tensor)
+
+    # Steady state of the refactored loop: the tensor buffer over the first
+    # n-1 observations is already cached; one iteration appends a single
+    # encoded row (one cross block + O(n) buffer writes) and fits.
+    tensor_buffer = computer.pairwise_rows(rows)
+
+    def incremental_iteration() -> None:
+        cross = computer.pairwise_rows(rows[-1:], rows[:-1])
+        tensor_buffer[:, -1:, :-1] = cross
+        tensor_buffer[:, :-1, -1:] = np.swapaxes(cross, 1, 2)
+        tensor_buffer[:, -1:, -1:] = computer.pairwise_rows(rows[-1:])
+        make_gp().fit_rows(rows, values, distance_tensor=tensor_buffer)
+
+    legacy_s = _best_of(legacy_iteration, repeats)
+    incremental_s = _best_of(incremental_iteration, repeats)
+    return {
+        "n_train": n_train,
+        "legacy_seconds": legacy_s,
+        "incremental_seconds": incremental_s,
+        "legacy_fits_per_sec": 1.0 / legacy_s,
+        "incremental_fits_per_sec": 1.0 / incremental_s,
+        "speedup": legacy_s / incremental_s,
+    }
+
+
+def _bench_ei_maximization(
+    space: SearchSpace, n_train: int, n_candidates: int, repeats: int
+) -> dict[str, Any]:
+    from scipy import stats
+
+    train = _sample_configs(space, n_train, seed=21)
+    values = list(np.random.default_rng(22).uniform(0.5, 5.0, size=n_train))
+    candidates = _sample_configs(space, n_candidates, seed=23)
+
+    gp = GaussianProcess(
+        space.parameters,
+        n_prior_samples=8,
+        n_refined_starts=1,
+        max_optimizer_iterations=10,
+        rng=np.random.default_rng(24),
+    )
+    gp.fit(train, values)
+
+    feasibility = FeasibilityModel(space, n_trees=24, rng=np.random.default_rng(25))
+    labels = [bool(b) for b in np.random.default_rng(26).random(n_train) > 0.3]
+    feasibility.fit(train, labels)
+
+    acquisition = AcquisitionFunction(
+        gp, best_value=min(values), feasibility_model=feasibility, noiseless=True
+    )
+    best_model_scale = float(gp.to_model_scale(min(values)))
+    computer = gp._distance
+    hp = gp.hyperparameters
+    forest = feasibility._forest
+
+    def legacy() -> np.ndarray:
+        # the pre-refactor acquisition data flow: cross distances re-derived
+        # per call from the raw dicts (per-pair Kendall loop included), EI on
+        # the resulting kernel, and a per-row scalar RF traversal
+        cross = computer.pairwise_reference(candidates, train)
+        k_star = gp._kernel(cross, hp.lengthscales, hp.outputscale)
+        mean = k_star @ gp._alpha
+        from scipy import linalg
+
+        v = linalg.solve_triangular(gp._cholesky, k_star.T, lower=True)
+        var = np.maximum(hp.outputscale - np.sum(v**2, axis=0), 1e-12)
+        std = np.sqrt(np.maximum(var, 1e-18))
+        improvement = best_model_scale - mean
+        z = improvement / std
+        ei = np.maximum(improvement * stats.norm.cdf(z) + std * stats.norm.pdf(z), 0.0)
+        feats = space.encode_batch(candidates)
+        probability = np.clip(
+            np.vstack(
+                [[tree._predict_one(row) for row in feats] for tree in forest.trees_]
+            ).mean(axis=0),
+            0.0,
+            1.0,
+        )
+        return ei * probability
+
+    vector_s = _best_of(lambda: acquisition(candidates), repeats)
+    legacy_s = _best_of(legacy, repeats)
+    return {
+        "n_train": n_train,
+        "n_candidates": n_candidates,
+        "legacy_seconds": legacy_s,
+        "vectorized_seconds": vector_s,
+        "legacy_candidates_per_sec": n_candidates / legacy_s,
+        "vectorized_candidates_per_sec": n_candidates / vector_s,
+        "speedup": legacy_s / vector_s,
+    }
+
+
+# ---------------------------------------------------------------------------
+# driver
+# ---------------------------------------------------------------------------
+
+def run_hotpath_benchmarks(
+    n_distance_configs: int = 300,
+    n_train: int = 80,
+    n_candidates: int = 1000,
+    repeats: int = 3,
+    permutation_metric: str = "kendall",
+) -> dict[str, Any]:
+    """Run all sections and return the JSON-ready payload."""
+    space = hotpath_space(permutation_metric)
+    sections = {
+        "distance_build": _bench_distance_build(space, n_distance_configs, repeats),
+        "gp_fit": _bench_gp_fit(space, n_train, repeats),
+        "ei_maximization": _bench_ei_maximization(space, n_train, n_candidates, repeats),
+    }
+    return {
+        "schema": "BENCH_tuner_hotpath/v1",
+        "space": {
+            "dimension": space.dimension,
+            "types": space.parameter_type_codes(),
+            "permutation_metric": permutation_metric,
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "sections": sections,
+    }
+
+
+def write_results(payload: dict[str, Any], path: Path = DEFAULT_OUTPUT) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    return path

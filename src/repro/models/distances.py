@@ -1,7 +1,7 @@
 """Per-parameter distance computations feeding the GP kernel.
 
 The BaCO kernel (Eq. 1-2) combines one distance measure per parameter into a
-single weighted Euclidean norm.  This module computes, for a list of
+single weighted Euclidean norm.  This module computes, for a batch of
 configurations, the *per-dimension distance matrices* ``d_k(x_i, x_j)`` so the
 kernel can scale each dimension by its learned lengthscale.
 
@@ -10,9 +10,21 @@ that a single set of lengthscale priors works across parameters of very
 different scales (Sec. 3.2: "By normalizing the input data, BaCO can use a
 single set of priors that works well for the majority of parameters").
 
-Numeric, categorical, and (Spearman / Hamming / naive) permutation distances
-are fully vectorized; the Kendall semimetric falls back to a pairwise loop
-since it has no simple closed matrix form.
+The primary entry point is :meth:`DistanceComputer.pairwise_rows`, which
+operates on **pre-encoded** matrices produced by
+:class:`repro.space.encoding.ConfigEncoder`: every per-type block — numeric
+absolute differences, categorical Hamming, and all four permutation
+semimetrics including Kendall — is computed with vectorized numpy, with no
+per-pair Python loop anywhere.  :meth:`DistanceComputer.pairwise` remains as
+a thin adapter for callers holding raw configuration dicts (it encodes, then
+delegates), and :meth:`DistanceComputer.pairwise_reference` preserves the
+historical per-pair implementation as the ground truth for regression tests
+and the hot-path microbenchmark.
+
+:class:`IncrementalDistanceTensor` grows the symmetric train-train tensor one
+observation at a time: appending a row computes only the new cross block, so
+the per-iteration cost of extending the GP's Gram inputs is O(n·D) instead of
+O(n²·D).  Block assembly is bit-identical to a full recompute.
 """
 
 from __future__ import annotations
@@ -21,6 +33,7 @@ from typing import Any, Mapping, Sequence
 
 import numpy as np
 
+from ..space.encoding import ColumnBlock, ConfigEncoder
 from ..space.parameters import (
     CategoricalParameter,
     NumericParameter,
@@ -28,14 +41,19 @@ from ..space.parameters import (
     PermutationParameter,
 )
 
-__all__ = ["parameter_scale", "DistanceComputer"]
+__all__ = [
+    "parameter_scale",
+    "DistanceComputer",
+    "IncrementalDistanceTensor",
+    "kendall_pairwise_rows",
+]
 
 
 def parameter_scale(parameter: Parameter) -> float:
     """Maximum attainable distance for a parameter (used for normalization).
 
     For permutation parameters the scale applies to the *Hilbertian square
-    root* of the semimetric (see :func:`_permutation_matrix`), hence the
+    root* of the semimetric (see :func:`_permutation_block_rows`), hence the
     square root of the maximum semimetric value.
     """
     if isinstance(parameter, PermutationParameter):
@@ -53,19 +71,43 @@ def parameter_scale(parameter: Parameter) -> float:
     raise TypeError(f"unsupported parameter type {type(parameter).__name__}")
 
 
-def _numeric_matrix(param: NumericParameter, values_a, values_b) -> np.ndarray:
-    a = np.array([param._warp(v) for v in values_a], dtype=float)
-    b = np.array([param._warp(v) for v in values_b], dtype=float)
+# ---------------------------------------------------------------------------
+# vectorized per-type blocks over encoded rows
+# ---------------------------------------------------------------------------
+
+def kendall_pairwise_rows(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """All-pairs Kendall (discordant-pair) distances between two permutation
+    matrices of shape ``(n_a, m)`` and ``(n_b, m)``.
+
+    Each permutation is expanded into its binary pairwise-order code over the
+    ``m·(m-1)/2`` index pairs ``p < q`` (1 where ``x[p] < x[q]``); the number
+    of discordant pairs between two permutations is then the Hamming distance
+    between their codes, computed for all pairs at once as
+    ``A·(1-B)ᵀ + (1-A)·Bᵀ``.  All arithmetic is on exact small integers, so
+    the result matches the per-pair double loop bit for bit.
+    """
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    m = a.shape[1]
+    if m < 2:
+        return np.zeros((a.shape[0], b.shape[0]))
+    p_idx, q_idx = np.triu_indices(m, k=1)
+    codes_a = (a[:, p_idx] < a[:, q_idx]).astype(float)
+    codes_b = (b[:, p_idx] < b[:, q_idx]).astype(float)
+    return codes_a @ (1.0 - codes_b).T + (1.0 - codes_a) @ codes_b.T
+
+
+def _numeric_block_rows(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     return np.abs(a[:, None] - b[None, :])
 
 
-def _categorical_matrix(param: CategoricalParameter, values_a, values_b) -> np.ndarray:
-    a = np.array([param.index_of(v) for v in values_a])
-    b = np.array([param.index_of(v) for v in values_b])
+def _categorical_block_rows(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     return (a[:, None] != b[None, :]).astype(float)
 
 
-def _permutation_matrix(param: PermutationParameter, values_a, values_b) -> np.ndarray:
+def _permutation_block_rows(
+    param: PermutationParameter, a: np.ndarray, b: np.ndarray
+) -> np.ndarray:
     """Kernel distances for permutations: the square root of the semimetric.
 
     The permutation semimetrics (Kendall, Spearman, Hamming) are conditionally
@@ -75,13 +117,14 @@ def _permutation_matrix(param: PermutationParameter, values_a, values_b) -> np.n
     covariance.  The user-facing :meth:`PermutationParameter.distance` keeps
     the paper's raw semimetric values.
     """
-    raw = _raw_permutation_matrix(param, values_a, values_b)
-    return np.sqrt(raw)
+    return np.sqrt(_raw_permutation_block_rows(param, a, b))
 
 
-def _raw_permutation_matrix(param: PermutationParameter, values_a, values_b) -> np.ndarray:
-    a = np.array([param.canonical(v) for v in values_a], dtype=float)
-    b = np.array([param.canonical(v) for v in values_b], dtype=float)
+def _raw_permutation_block_rows(
+    param: PermutationParameter, a: np.ndarray, b: np.ndarray
+) -> np.ndarray:
+    a = np.ascontiguousarray(a, dtype=float)
+    b = np.ascontiguousarray(b, dtype=float)
     if param.metric == "spearman":
         sq_a = np.sum(a**2, axis=1)[:, None]
         sq_b = np.sum(b**2, axis=1)[None, :]
@@ -97,49 +140,103 @@ def _raw_permutation_matrix(param: PermutationParameter, values_a, values_b) -> 
         for k in range(param.n_elements):
             equal &= a[:, k][:, None] == b[:, k][None, :]
         return (~equal).astype(float)
-    # Kendall: no simple vectorized form; loop over pairs.
-    out = np.empty((len(a), len(b)))
-    tuples_a = [param.canonical(v) for v in values_a]
-    tuples_b = [param.canonical(v) for v in values_b]
-    for i, pa in enumerate(tuples_a):
-        for j, pb in enumerate(tuples_b):
-            out[i, j] = param.distance(pa, pb)
-    return out
+    return kendall_pairwise_rows(a, b)
 
 
 class DistanceComputer:
-    """Computes normalized per-dimension distance tensors between configurations."""
+    """Computes normalized per-dimension distance tensors between configurations.
 
-    def __init__(self, parameters: Sequence[Parameter]) -> None:
+    Built around a :class:`ConfigEncoder`: the fast path
+    (:meth:`pairwise_rows`) consumes encoded matrices directly; the dict path
+    (:meth:`pairwise`) is a thin adapter that encodes first.
+    """
+
+    def __init__(
+        self, parameters: Sequence[Parameter], encoder: ConfigEncoder | None = None
+    ) -> None:
         self.parameters = list(parameters)
+        self.encoder = encoder if encoder is not None else ConfigEncoder(self.parameters)
         self.scales = np.array([parameter_scale(p) for p in self.parameters])
 
     @property
     def n_dimensions(self) -> int:
         return len(self.parameters)
 
+    # ------------------------------------------------------------------
+    # fast path: encoded rows
+    # ------------------------------------------------------------------
+    def pairwise_rows(
+        self, rows_a: np.ndarray, rows_b: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Distance tensor ``(D, n_a, n_b)`` from pre-encoded row matrices.
+
+        When ``rows_b`` is ``None`` the (symmetric) self-distance tensor of
+        ``rows_a`` is computed.
+        """
+        a = np.asarray(rows_a, dtype=float)
+        b = a if rows_b is None else np.asarray(rows_b, dtype=float)
+        out = np.empty((self.n_dimensions, a.shape[0], b.shape[0]))
+        for k, block in enumerate(self.encoder.blocks):
+            if block.kind == "numeric":
+                matrix = _numeric_block_rows(a[:, block.start], b[:, block.start])
+            elif block.kind == "categorical":
+                matrix = _categorical_block_rows(a[:, block.start], b[:, block.start])
+            else:
+                matrix = _permutation_block_rows(
+                    block.parameter, a[:, block.columns], b[:, block.columns]
+                )
+            out[k] = matrix / self.scales[k]
+        return out
+
+    # ------------------------------------------------------------------
+    # dict path (thin adapter)
+    # ------------------------------------------------------------------
     def pairwise(
         self,
         configs_a: Sequence[Mapping[str, Any]],
         configs_b: Sequence[Mapping[str, Any]] | None = None,
     ) -> np.ndarray:
-        """Return the distance tensor with shape ``(D, len(a), len(b))``.
+        """Distance tensor ``(D, len(a), len(b))`` from configuration dicts."""
+        rows_a = self.encoder.encode_batch(configs_a)
+        rows_b = None if configs_b is None else self.encoder.encode_batch(configs_b)
+        return self.pairwise_rows(rows_a, rows_b)
 
-        When ``configs_b`` is ``None`` the (symmetric) self-distance tensor of
-        ``configs_a`` is computed.
+    # ------------------------------------------------------------------
+    # reference path (pre-vectorization semantics, kept for tests / benchmarks)
+    # ------------------------------------------------------------------
+    def pairwise_reference(
+        self,
+        configs_a: Sequence[Mapping[str, Any]],
+        configs_b: Sequence[Mapping[str, Any]] | None = None,
+    ) -> np.ndarray:
+        """The historical implementation: per-call feature re-derivation from
+        raw dicts and a per-pair Python double loop for the Kendall
+        semimetric.  Kept as the ground truth that
+        ``tests/test_hotpath_equivalence.py`` pins :meth:`pairwise_rows`
+        against, and as the "legacy" side of the hot-path microbenchmark.
+        Do not use in production code paths.
         """
         b = configs_a if configs_b is None else configs_b
-        n_a, n_b = len(configs_a), len(b)
-        out = np.zeros((self.n_dimensions, n_a, n_b))
+        out = np.zeros((self.n_dimensions, len(configs_a), len(b)))
         for k, param in enumerate(self.parameters):
             values_a = [cfg[param.name] for cfg in configs_a]
             values_b = values_a if configs_b is None else [cfg[param.name] for cfg in b]
             if isinstance(param, PermutationParameter):
-                matrix = _permutation_matrix(param, values_a, values_b)
+                tuples_a = [param.canonical(v) for v in values_a]
+                tuples_b = [param.canonical(v) for v in values_b]
+                raw = np.empty((len(tuples_a), len(tuples_b)))
+                for i, pa in enumerate(tuples_a):
+                    for j, pb in enumerate(tuples_b):
+                        raw[i, j] = param.distance(pa, pb)
+                matrix = np.sqrt(raw)
             elif isinstance(param, CategoricalParameter):
-                matrix = _categorical_matrix(param, values_a, values_b)
+                idx_a = np.array([param.index_of(v) for v in values_a])
+                idx_b = np.array([param.index_of(v) for v in values_b])
+                matrix = (idx_a[:, None] != idx_b[None, :]).astype(float)
             elif isinstance(param, NumericParameter):
-                matrix = _numeric_matrix(param, values_a, values_b)
+                warped_a = np.array([param._warp(v) for v in values_a], dtype=float)
+                warped_b = np.array([param._warp(v) for v in values_b], dtype=float)
+                matrix = np.abs(warped_a[:, None] - warped_b[None, :])
             else:  # pragma: no cover - defensive fallback
                 matrix = np.array(
                     [[param.distance(va, vb) for vb in values_b] for va in values_a],
@@ -147,3 +244,77 @@ class DistanceComputer:
                 )
             out[k] = matrix / self.scales[k]
         return out
+
+
+class IncrementalDistanceTensor:
+    """Grows a symmetric train-train distance tensor one batch at a time.
+
+    The tuner appends each new observation's encoded row as it is evaluated;
+    only the cross block against the existing rows is computed, never the
+    full tensor.  Buffers grow by capacity doubling, so views handed out by
+    :attr:`tensor` / :attr:`rows` stay valid snapshots even after later
+    appends trigger a reallocation.
+    """
+
+    def __init__(self, computer: DistanceComputer) -> None:
+        self._computer = computer
+        self._n = 0
+        self._rows_buf: np.ndarray | None = None
+        self._tensor_buf: np.ndarray | None = None
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def rows(self) -> np.ndarray:
+        """Encoded rows appended so far, shape ``(n, width)`` (read-only view)."""
+        if self._rows_buf is None:
+            return np.empty((0, self._computer.encoder.width))
+        view = self._rows_buf[: self._n]
+        view.flags.writeable = False
+        return view
+
+    @property
+    def tensor(self) -> np.ndarray:
+        """Distance tensor over the appended rows, shape ``(D, n, n)`` (read-only view)."""
+        if self._tensor_buf is None:
+            return np.empty((self._computer.n_dimensions, 0, 0))
+        view = self._tensor_buf[:, : self._n, : self._n]
+        view.flags.writeable = False
+        return view
+
+    def reset(self) -> None:
+        self._n = 0
+        self._rows_buf = None
+        self._tensor_buf = None
+
+    def _ensure_capacity(self, needed: int) -> None:
+        width = self._computer.encoder.width
+        depth = self._computer.n_dimensions
+        capacity = 0 if self._rows_buf is None else self._rows_buf.shape[0]
+        if needed <= capacity:
+            return
+        new_capacity = max(needed, max(8, 2 * capacity))
+        rows = np.empty((new_capacity, width))
+        tensor = np.empty((depth, new_capacity, new_capacity))
+        if self._n:
+            rows[: self._n] = self._rows_buf[: self._n]
+            tensor[:, : self._n, : self._n] = self._tensor_buf[:, : self._n, : self._n]
+        self._rows_buf = rows
+        self._tensor_buf = tensor
+
+    def append(self, new_rows: np.ndarray) -> None:
+        """Append encoded rows, extending the tensor by their cross blocks."""
+        new_rows = np.atleast_2d(np.asarray(new_rows, dtype=float))
+        k = new_rows.shape[0]
+        if k == 0:
+            return
+        n = self._n
+        self._ensure_capacity(n + k)
+        self._rows_buf[n : n + k] = new_rows
+        if n:
+            cross = self._computer.pairwise_rows(new_rows, self._rows_buf[:n])
+            self._tensor_buf[:, n : n + k, :n] = cross
+            self._tensor_buf[:, :n, n : n + k] = np.swapaxes(cross, 1, 2)
+        self._tensor_buf[:, n : n + k, n : n + k] = self._computer.pairwise_rows(new_rows)
+        self._n = n + k

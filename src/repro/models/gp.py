@@ -12,6 +12,17 @@ customizations described in Sec. 3.2 of the BaCO paper:
 * Gaussian observation noise, with prediction optionally excluding the noise
   term (used by the "noiseless EI" acquisition of Sec. 3.3);
 * output standardization and optional log transformation of the objective.
+
+The GP operates on **pre-encoded** configuration rows
+(:class:`repro.space.encoding.ConfigEncoder`): :meth:`GaussianProcess.fit_rows`
+/ :meth:`GaussianProcess.predict_rows` consume ``(n, width)`` float matrices
+directly, and ``fit_rows`` accepts an externally cached train-train distance
+tensor (see :class:`repro.models.distances.IncrementalDistanceTensor`) so the
+per-iteration fit never recomputes the full pairwise structure.  The
+dict-based :meth:`fit` / :meth:`predict` remain as thin adapters that encode
+and delegate.  The train tensor is computed once per fit and shared across
+all hyper-parameter restarts — only the (cheap) kernel evaluation depends on
+the hyper-parameters.
 """
 
 from __future__ import annotations
@@ -80,6 +91,11 @@ class GaussianProcess:
         When ``False``, skip the L-BFGS refinement and use a single median
         hyper-parameter setting -- the "less advanced GP fitting" used by the
         BaCO-- variant of Fig. 8.
+    distance_computer:
+        Optional shared :class:`DistanceComputer`; pass one to reuse its
+        encoder (and scales) across GP instances, e.g. when the tuner
+        re-creates the surrogate every iteration against one incremental
+        distance cache.
     """
 
     def __init__(
@@ -96,6 +112,7 @@ class GaussianProcess:
         max_optimizer_iterations: int = 25,
         advanced_fit: bool = True,
         rng: np.random.Generator | None = None,
+        distance_computer: DistanceComputer | None = None,
     ) -> None:
         if kernel not in KERNELS:
             raise ValueError(f"unknown kernel {kernel!r}; choose from {sorted(KERNELS)}")
@@ -112,10 +129,15 @@ class GaussianProcess:
         self.max_optimizer_iterations = max_optimizer_iterations
         self.advanced_fit = advanced_fit
         self._rng = rng if rng is not None else np.random.default_rng()
-        self._distance = DistanceComputer(self.parameters)
+        self._distance = (
+            distance_computer
+            if distance_computer is not None
+            else DistanceComputer(self.parameters)
+        )
+        self.encoder = self._distance.encoder
 
         self.hyperparameters: GPHyperparameters | None = None
-        self._train_configs: list[Mapping[str, Any]] = []
+        self._train_rows: np.ndarray | None = None
         self._train_distance: np.ndarray | None = None
         self._cholesky: np.ndarray | None = None
         self._alpha: np.ndarray | None = None
@@ -199,14 +221,42 @@ class GaussianProcess:
     # fitting
     # ------------------------------------------------------------------
     def fit(self, configurations: Sequence[Mapping[str, Any]], targets: Sequence[float]) -> None:
-        """Fit the GP to observed (configuration, objective) pairs."""
-        if len(configurations) != len(targets):
+        """Fit the GP to observed (configuration, objective) pairs.
+
+        Thin adapter over :meth:`fit_rows`: encodes the dicts once, then
+        fits on the rows.
+        """
+        self.fit_rows(self.encoder.encode_batch(configurations), targets)
+
+    def fit_rows(
+        self,
+        rows: np.ndarray,
+        targets: Sequence[float],
+        distance_tensor: np.ndarray | None = None,
+    ) -> None:
+        """Fit the GP on pre-encoded configuration rows.
+
+        ``distance_tensor`` — when the caller maintains the train-train
+        distance tensor incrementally (one cross block per new observation),
+        passing it here skips the full pairwise recomputation.  It must be
+        the ``(D, n, n)`` tensor of ``rows``.
+        """
+        rows = np.asarray(rows, dtype=float)
+        if len(rows) != len(targets):
             raise ValueError("configurations and targets must have the same length")
-        if len(configurations) < 2:
+        if len(rows) < 2:
             raise ValueError("need at least two observations to fit a GP")
-        self._train_configs = [dict(c) for c in configurations]
+        self._train_rows = rows
         y = self._transform_targets(np.asarray(targets, dtype=float))
-        self._train_distance = self._distance.pairwise(self._train_configs)
+        if distance_tensor is not None:
+            expected = (self._distance.n_dimensions, len(rows), len(rows))
+            if distance_tensor.shape != expected:
+                raise ValueError(
+                    f"distance tensor has shape {distance_tensor.shape}, expected {expected}"
+                )
+            self._train_distance = distance_tensor
+        else:
+            self._train_distance = self._distance.pairwise_rows(rows)
 
         candidates: list[tuple[float, np.ndarray]] = []
         for _ in range(self.n_prior_samples):
@@ -255,14 +305,26 @@ class GaussianProcess:
     ) -> tuple[np.ndarray, np.ndarray]:
         """Predictive mean and variance on the *model* scale.
 
-        ``include_noise=False`` returns the latent (noise-free) predictive
-        variance used by BaCO's modified EI, which discourages re-sampling
-        already-observed configurations.
+        Thin adapter over :meth:`predict_rows` for configuration dicts.
+        """
+        return self.predict_rows(
+            self.encoder.encode_batch(configurations), include_noise=include_noise
+        )
+
+    def predict_rows(
+        self, rows: np.ndarray, include_noise: bool = False
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Predictive mean and variance for pre-encoded rows (model scale).
+
+        One vectorized cross-distance + kernel evaluation for the whole
+        batch.  ``include_noise=False`` returns the latent (noise-free)
+        predictive variance used by BaCO's modified EI, which discourages
+        re-sampling already-observed configurations.
         """
         if not self.is_fitted:
             raise RuntimeError("predict() called before fit()")
         hp = self.hyperparameters
-        cross = self._distance.pairwise(configurations, self._train_configs)
+        cross = self._distance.pairwise_rows(np.asarray(rows, dtype=float), self._train_rows)
         k_star = self._kernel(cross, hp.lengthscales, hp.outputscale)
         mean = k_star @ self._alpha
         v = linalg.solve_triangular(self._cholesky, k_star.T, lower=True)

@@ -2,6 +2,7 @@
 
 from .chain_of_trees import ChainOfTrees, CoTNode, FeasibleSetTooLarge, Tree
 from .constraints import Constraint, ConstraintError, extract_variables
+from .encoding import ColumnBlock, ConfigEncoder
 from .parameters import (
     CategoricalParameter,
     IntegerParameter,
@@ -20,6 +21,8 @@ from .space import Configuration, SearchSpace, freeze_configuration
 __all__ = [
     "CategoricalParameter",
     "ChainOfTrees",
+    "ColumnBlock",
+    "ConfigEncoder",
     "Configuration",
     "Constraint",
     "ConstraintError",

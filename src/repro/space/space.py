@@ -17,12 +17,14 @@ offers everything the optimizers need:
 from __future__ import annotations
 
 import math
+from functools import cached_property
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
 import numpy as np
 
 from .chain_of_trees import ChainOfTrees, FeasibleSetTooLarge, Tree
 from .constraints import Constraint, group_codependent
+from .encoding import ConfigEncoder
 from .parameters import Parameter
 
 __all__ = ["SearchSpace", "Configuration", "freeze_configuration"]
@@ -276,19 +278,26 @@ class SearchSpace:
     # ------------------------------------------------------------------
     # encodings
     # ------------------------------------------------------------------
-    def encode(self, configuration: Mapping[str, Any]) -> np.ndarray:
-        """Flat numeric encoding of a configuration (for random forests)."""
-        parts: list[float] = []
-        for param in self.parameters:
-            numeric = param.to_numeric(configuration[param.name])
-            if isinstance(numeric, tuple):
-                parts.extend(numeric)
-            else:
-                parts.append(numeric)
-        return np.asarray(parts, dtype=float)
+    @cached_property
+    def encoder(self) -> ConfigEncoder:
+        """The fixed-width numeric encoder shared by every model layer."""
+        return ConfigEncoder(self.parameters)
 
+    def encode(self, configuration: Mapping[str, Any]) -> np.ndarray:
+        """Flat numeric encoding of a configuration (one encoder row)."""
+        return self.encoder.encode(configuration)
+
+    def encode_batch(self, configurations: Sequence[Mapping[str, Any]]) -> np.ndarray:
+        """Encode a batch of configurations as an ``(n, width)`` float matrix."""
+        return self.encoder.encode_batch(configurations)
+
+    # kept as an alias for historical callers
     def encode_many(self, configurations: Sequence[Mapping[str, Any]]) -> np.ndarray:
-        return np.vstack([self.encode(c) for c in configurations]) if configurations else np.empty((0, 0))
+        return self.encoder.encode_batch(configurations)
+
+    def decode_row(self, row: Sequence[float]) -> Configuration:
+        """Round-trip an encoded row back to a configuration."""
+        return self.encoder.decode(row)
 
     def freeze(self, configuration: Mapping[str, Any]) -> tuple:
         """Hashable key for a configuration (used for de-duplication)."""

@@ -1,0 +1,201 @@
+"""Equivalence guarantees for the vectorized hot path.
+
+Three layers of protection for the encoding-layer refactor:
+
+* the vectorized per-type distance blocks (including the Kendall semimetric,
+  whose legacy implementation was a per-pair Python double loop) are pinned
+  against the reference implementation,
+* GP predictions through the encoded-rows path match the legacy dict path,
+  and the incremental train-train tensor matches a full recompute,
+* a seeded end-to-end ``BacoTuner`` run reproduces the recorded pre-refactor
+  evaluation trace bit for bit on one RISE, one TACO, and one HPVM2FPGA
+  workload (``tests/data/bitcompat_trajectories.json``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.baco import BacoTuner
+from repro.models.distances import (
+    DistanceComputer,
+    IncrementalDistanceTensor,
+    kendall_pairwise_rows,
+)
+from repro.models.gp import GaussianProcess
+from repro.space.parameters import (
+    CategoricalParameter,
+    IntegerParameter,
+    OrdinalParameter,
+    PermutationParameter,
+    RealParameter,
+    kendall_distance,
+)
+
+FIXTURES = Path(__file__).parent / "data" / "bitcompat_trajectories.json"
+
+
+def _params(metric: str = "kendall"):
+    return [
+        OrdinalParameter("tile", [2, 4, 8, 16, 32], transform="log"),
+        IntegerParameter("threads", 1, 16),
+        RealParameter("alpha", 0.1, 10.0, transform="log"),
+        CategoricalParameter("sched", ["a", "b", "c"]),
+        PermutationParameter("perm", 6, metric=metric),
+    ]
+
+
+def _configs(params, n, seed=0):
+    rng = np.random.default_rng(seed)
+    return [{p.name: p.sample(rng) for p in params} for _ in range(n)]
+
+
+class TestKendallVectorization:
+    """Regression: vectorized Kendall equals the per-pair double loop."""
+
+    def test_matches_scalar_kendall_distance(self):
+        rng = np.random.default_rng(3)
+        perms_a = [tuple(int(i) for i in rng.permutation(6)) for _ in range(15)]
+        perms_b = [tuple(int(i) for i in rng.permutation(6)) for _ in range(11)]
+        got = kendall_pairwise_rows(np.array(perms_a, float), np.array(perms_b, float))
+        for i, pa in enumerate(perms_a):
+            for j, pb in enumerate(perms_b):
+                assert got[i, j] == kendall_distance(pa, pb)
+
+    def test_single_element_permutations(self):
+        out = kendall_pairwise_rows(np.zeros((3, 1)), np.zeros((2, 1)))
+        assert np.array_equal(out, np.zeros((3, 2)))
+
+    @pytest.mark.parametrize("metric", ["kendall", "spearman", "hamming", "naive"])
+    def test_pairwise_rows_matches_reference(self, metric):
+        params = _params(metric)
+        computer = DistanceComputer(params)
+        a = _configs(params, 12, seed=1)
+        b = _configs(params, 9, seed=2)
+        reference = computer.pairwise_reference(a, b)
+        rows_a = computer.encoder.encode_batch(a)
+        rows_b = computer.encoder.encode_batch(b)
+        assert np.array_equal(computer.pairwise_rows(rows_a, rows_b), reference)
+        # the dict adapter goes through the same vectorized path
+        assert np.array_equal(computer.pairwise(a, b), reference)
+
+    def test_self_tensor_matches_reference(self):
+        params = _params("kendall")
+        computer = DistanceComputer(params)
+        configs = _configs(params, 10, seed=4)
+        assert np.array_equal(
+            computer.pairwise(configs), computer.pairwise_reference(configs)
+        )
+
+
+class TestIncrementalTensor:
+    def test_append_one_at_a_time_matches_full(self):
+        params = _params("spearman")
+        computer = DistanceComputer(params)
+        configs = _configs(params, 14, seed=5)
+        rows = computer.encoder.encode_batch(configs)
+        cache = IncrementalDistanceTensor(computer)
+        for i in range(len(rows)):
+            cache.append(rows[i : i + 1])
+        assert len(cache) == 14
+        assert np.array_equal(cache.rows, rows)
+        assert np.array_equal(cache.tensor, computer.pairwise_rows(rows))
+
+    def test_batch_appends_and_reset(self):
+        params = _params("hamming")
+        computer = DistanceComputer(params)
+        rows = computer.encoder.encode_batch(_configs(params, 9, seed=6))
+        cache = IncrementalDistanceTensor(computer)
+        cache.append(rows[:4])
+        cache.append(rows[4:])
+        assert np.array_equal(cache.tensor, computer.pairwise_rows(rows))
+        cache.reset()
+        assert len(cache) == 0
+        assert cache.tensor.shape == (computer.n_dimensions, 0, 0)
+
+    def test_views_stay_valid_across_growth(self):
+        params = _params("naive")
+        computer = DistanceComputer(params)
+        rows = computer.encoder.encode_batch(_configs(params, 20, seed=7))
+        cache = IncrementalDistanceTensor(computer)
+        cache.append(rows[:3])
+        snapshot = cache.tensor.copy()
+        view = cache.tensor
+        cache.append(rows[3:])  # forces at least one reallocation
+        assert np.array_equal(view, snapshot)
+
+
+class TestGPEquivalence:
+    def test_rows_path_matches_dict_path(self):
+        params = _params("kendall")
+        train = _configs(params, 25, seed=8)
+        rng = np.random.default_rng(9)
+        y = list(rng.uniform(0.5, 4.0, size=25))
+        candidates = _configs(params, 40, seed=10)
+
+        gp_dict = GaussianProcess(params, rng=np.random.default_rng(11))
+        gp_dict.fit(train, y)
+        mean_dict, var_dict = gp_dict.predict(candidates)
+
+        gp_rows = GaussianProcess(params, rng=np.random.default_rng(11))
+        rows = gp_rows.encoder.encode_batch(train)
+        cache = IncrementalDistanceTensor(gp_rows._distance)
+        for i in range(len(rows)):
+            cache.append(rows[i : i + 1])
+        gp_rows.fit_rows(cache.rows, y, distance_tensor=cache.tensor)
+        mean_rows, var_rows = gp_rows.predict_rows(
+            gp_rows.encoder.encode_batch(candidates)
+        )
+
+        assert np.allclose(mean_dict, mean_rows, atol=1e-8, rtol=0)
+        assert np.allclose(var_dict, var_rows, atol=1e-8, rtol=0)
+
+    def test_fit_rows_rejects_mismatched_tensor(self):
+        params = _params("spearman")
+        gp = GaussianProcess(params, rng=np.random.default_rng(12))
+        rows = gp.encoder.encode_batch(_configs(params, 6, seed=13))
+        bad = gp._distance.pairwise_rows(rows[:5])
+        with pytest.raises(ValueError):
+            gp.fit_rows(rows, list(range(1, 7)), distance_tensor=bad)
+
+
+class TestTrajectoryBitCompatibility:
+    """The refactored tuner reproduces pre-refactor runs exactly.
+
+    Fixtures were recorded from the pre-refactor implementation (per-pair
+    dict distances, per-start local search, full GP recompute each
+    iteration) on one workload per compiler framework.
+    """
+
+    @pytest.fixture(scope="class")
+    def fixtures(self):
+        return json.loads(FIXTURES.read_text())
+
+    @pytest.mark.parametrize(
+        "benchmark_name", ["rise_mm_gpu", "taco_spmm_scircuit", "hpvm_audio"]
+    )
+    def test_identical_trace(self, fixtures, benchmark_name):
+        from repro.workloads.registry import get_benchmark
+
+        fx = fixtures[benchmark_name]
+        bench = get_benchmark(benchmark_name)
+        tuner = BacoTuner(bench.space, seed=fx["seed"])
+        history = tuner.tune(bench.evaluate, fx["budget"], benchmark_name=benchmark_name)
+        got = [
+            {
+                "configuration": {
+                    k: (list(v) if isinstance(v, tuple) else v)
+                    for k, v in e.configuration.items()
+                },
+                "value": e.value,
+                "feasible": e.feasible,
+                "phase": e.phase,
+            }
+            for e in history
+        ]
+        assert got == fx["evaluations"]
+        assert list(history.best_so_far()) == fx["incumbent"]
