@@ -10,7 +10,18 @@ Three subcommands operate on the (benchmark, tuner, budget, seed) cell grid:
 * ``report`` — render a benchmark x tuner table of best-found values from
   cached histories only.
 
-A fourth subcommand, ``bench``, runs the tuner hot-path microbenchmarks
+Two subcommands drive single ask/tell tuning sessions
+(:mod:`repro.core.session`):
+
+* ``tune``  — run one tuner on one benchmark with optional parallel
+  evaluation (``--eval-workers``), periodic checkpointing
+  (``--checkpoint``), and crash-safe resume (``--resume``); ``--stop-after``
+  deliberately interrupts the run after N evaluations,
+* ``serve`` — a long-running tuning service speaking JSON lines on
+  stdin/stdout (see :mod:`repro.service`), for workloads where an external
+  system evaluates the proposed configurations.
+
+A further subcommand, ``bench``, runs the tuner hot-path microbenchmarks
 (legacy dict path vs. the vectorized encoding layer) and writes
 ``BENCH_tuner_hotpath.json``.
 
@@ -21,6 +32,10 @@ Examples::
         --tuners "Uniform Sampling" "CoT Sampling" --repetitions 2 --workers 2
     PYTHONPATH=src python -m repro status
     PYTHONPATH=src python -m repro report --benchmarks rise_scal_gpu
+    PYTHONPATH=src python -m repro tune --benchmark hpvm_bfs --tuner BaCO \\
+        --budget 20 --seed 0 --checkpoint /tmp/bfs.ckpt.json --eval-workers 4
+    PYTHONPATH=src python -m repro tune --resume --checkpoint /tmp/bfs.ckpt.json
+    PYTHONPATH=src python -m repro serve
     PYTHONPATH=src python -m repro bench --quick
 
 Environment variables (``REPRO_*``, see :mod:`repro.experiments.config`)
@@ -94,6 +109,7 @@ def _build_config(args: argparse.Namespace) -> ExperimentConfig:
         "workers": getattr(args, "workers", None),
         "timeout": getattr(args, "timeout", None),
         "retries": getattr(args, "retries", None),
+        "eval_workers": getattr(args, "eval_workers", None),
     }
     if getattr(args, "no_resume", False):
         overrides["resume"] = False
@@ -164,14 +180,17 @@ def _cmd_status(args: argparse.Namespace) -> int:
     manifest = load_manifest(config)
     statuses: dict[str, int] = {}
     for entry in manifest["cells"].values():
-        statuses[entry.get("status", "?")] = statuses.get(entry.get("status", "?"), 0) + 1
+        status = entry.get("status", "?") if isinstance(entry, dict) else "?"
+        statuses[status] = statuses.get(status, 0) + 1
     print(f"grid: {len(cells)} cells ({cached} cached, {len(cells) - cached} missing)")
     print(f"cache dir: {config.cache_dir}")
-    if manifest["cells"]:
+    if not manifest_path(config).exists():
+        print("no sweep manifest found — run `repro sweep` first")
+    elif manifest["cells"]:
         rendered = ", ".join(f"{count} {status}" for status, count in sorted(statuses.items()))
         print(f"manifest: {manifest_path(config)} — {rendered}")
     else:
-        print("manifest: (no sweep recorded yet)")
+        print(f"manifest: {manifest_path(config)} — empty (no cells recorded yet)")
     return 0
 
 
@@ -204,6 +223,102 @@ def _cmd_report(args: argparse.Namespace) -> int:
         rows.append(row)
     print(format_table(headers, rows, title="mean best value over cached seeds"))
     return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    from .core.session import drive
+    from .experiments.runner import drive_parallel, load_session, make_session, save_session
+
+    checkpoint = args.checkpoint
+    if args.resume:
+        if checkpoint is None or not checkpoint.exists():
+            print(
+                f"error: --resume needs an existing checkpoint "
+                f"(got {checkpoint})",
+                file=sys.stderr,
+            )
+            return 2
+        session, benchmark = load_session(checkpoint)
+        if not args.quiet:
+            print(
+                f"resumed {session.tuner.name} on {benchmark.name} at "
+                f"{len(session.history)}/{session.budget} evaluations"
+            )
+    else:
+        if args.benchmark is None:
+            print("error: --benchmark is required (unless resuming)", file=sys.stderr)
+            return 2
+        budget = args.budget
+        if budget is None:
+            from .workloads.registry import get_benchmark
+
+            budget = get_benchmark(args.benchmark).full_budget
+        session, benchmark = make_session(
+            args.benchmark, args.tuner, budget, args.seed or 0,
+            fidelity=args.fidelity or "fast",
+        )
+
+    stop_after = args.stop_after
+    if stop_after is not None and checkpoint is None:
+        print("error: --stop-after without --checkpoint loses the run", file=sys.stderr)
+        return 2
+
+    last_saved = len(session.history)
+
+    class _Interrupted(Exception):
+        pass
+
+    def after_tell(live_session) -> None:
+        nonlocal last_saved
+        done = len(live_session.history)
+        if not args.quiet:
+            best = live_session.history.best_value()
+            print(f"[{done}/{live_session.budget}] best={best:.6g}", flush=True)
+        # counted in evaluations, not batches: with --eval-workers q each
+        # after_tell advances the history by q tells
+        if checkpoint is not None and done - last_saved >= args.checkpoint_every:
+            save_session(live_session, checkpoint)
+            last_saved = done
+        if stop_after is not None and done >= stop_after:
+            raise _Interrupted
+
+    eval_workers = max(1, args.eval_workers or 1)
+    try:
+        if eval_workers > 1:
+            drive_parallel(session, eval_workers, after_tell=after_tell)
+        else:
+            drive(session, benchmark.evaluator, after_tell=after_tell)
+    except _Interrupted:
+        save_session(session, checkpoint)
+        print(
+            f"stopped after {len(session.history)} evaluations; "
+            f"checkpoint: {checkpoint}"
+        )
+        return 0
+
+    if checkpoint is not None:
+        save_session(session, checkpoint)
+    history = session.history
+    best = history.best(session.budget)
+    print(
+        f"{history.tuner_name} on {benchmark.name}: {len(history)} evaluations, "
+        f"best {'%.6g' % best.value if best is not None else 'infeasible'}"
+    )
+    if args.out is not None:
+        # drop wall-clock fields so the output is a deterministic trace
+        payload = history.to_dict()
+        payload.pop("tuner_seconds", None)
+        payload.pop("evaluation_seconds", None)
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(json.dumps(payload, indent=1, sort_keys=True))
+        print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import serve
+
+    return serve(sys.stdin, sys.stdout)
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -256,6 +371,11 @@ def main(argv: list[str] | None = None) -> int:
         "--retries", type=int, default=None, help="re-attempts per failed cell"
     )
     sweep_parser.add_argument(
+        "--eval-workers", type=int, default=None,
+        help="parallel black-box evaluations inside each cell (default: 1; "
+             ">1 batches the tuner's ask() and changes the cache identity)",
+    )
+    sweep_parser.add_argument(
         "--no-resume", action="store_true",
         help="recompute every cell instead of skipping cached ones",
     )
@@ -278,6 +398,56 @@ def main(argv: list[str] | None = None) -> int:
     )
     _add_grid_options(report_parser)
     report_parser.set_defaults(handler=_cmd_report)
+
+    tune_parser = subparsers.add_parser(
+        "tune", help="run one ask/tell tuning session (checkpointable, resumable)"
+    )
+    tune_parser.add_argument("--benchmark", default=None, help="benchmark instance name")
+    tune_parser.add_argument(
+        "--tuner", default="BaCO", help="tuner variant name (default: BaCO)"
+    )
+    tune_parser.add_argument(
+        "--budget", type=int, default=None,
+        help="evaluation budget (default: the benchmark's full Table 3 budget)",
+    )
+    tune_parser.add_argument("--seed", type=int, default=None, help="random seed (default: 0)")
+    tune_parser.add_argument(
+        "--fidelity", choices=("fast", "paper"), default=None, help="optimizer effort level"
+    )
+    tune_parser.add_argument(
+        "--eval-workers", type=int, default=None,
+        help="parallel black-box evaluations per ask() batch (default: 1)",
+    )
+    tune_parser.add_argument(
+        "--checkpoint", type=Path, default=None,
+        help="session checkpoint file, written every --checkpoint-every tells",
+    )
+    tune_parser.add_argument(
+        "--checkpoint-every", type=int, default=1,
+        help="evaluations between checkpoint writes (default: 1)",
+    )
+    tune_parser.add_argument(
+        "--resume", action="store_true",
+        help="resume from --checkpoint instead of starting fresh",
+    )
+    tune_parser.add_argument(
+        "--stop-after", type=int, default=None,
+        help="checkpoint and exit once this many evaluations are recorded "
+             "(simulates an interruption; requires --checkpoint)",
+    )
+    tune_parser.add_argument(
+        "--out", type=Path, default=None,
+        help="write the final history as deterministic JSON (no wall-clock fields)",
+    )
+    tune_parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-evaluation progress lines"
+    )
+    tune_parser.set_defaults(handler=_cmd_tune)
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="serve ask/tell sessions over JSON lines on stdin/stdout"
+    )
+    serve_parser.set_defaults(handler=_cmd_serve)
 
     bench_parser = subparsers.add_parser(
         "bench", help="run the tuner hot-path microbenchmarks"

@@ -33,6 +33,8 @@ from typing import Any, Mapping
 
 import numpy as np
 
+from ..core.result import ObjectiveResult
+from ..core.session import frozen_key_from_json, frozen_key_to_json
 from ..core.tuner import Tuner
 from ..space.space import Configuration, SearchSpace
 
@@ -79,6 +81,31 @@ class AUCBandit:
         self._uses[technique] += 1
         self._outcomes[technique].append(1.0 if improved else 0.0)
 
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, Any]:
+        """Bandit statistics as a JSON-serializable dict (for checkpoints)."""
+        return {
+            "techniques": list(self.techniques),
+            "window": self.window,
+            "exploration": self.exploration,
+            "outcomes": {name: list(dq) for name, dq in self._outcomes.items()},
+            "uses": dict(self._uses),
+        }
+
+    def load_state_dict(self, payload: Mapping[str, Any]) -> None:
+        self.techniques = list(payload.get("techniques", self.techniques))
+        self.window = int(payload.get("window", self.window))
+        self.exploration = float(payload.get("exploration", self.exploration))
+        outcomes = payload.get("outcomes", {})
+        self._outcomes = {
+            name: deque(
+                (float(x) for x in outcomes.get(name, ())), maxlen=self.window
+            )
+            for name in self.techniques
+        }
+        uses = payload.get("uses", {})
+        self._uses = {name: int(uses.get(name, 0)) for name in self.techniques}
+
 
 class OpenTunerLikeTuner(Tuner):
     """Bandit ensemble of heuristic search techniques with constraint support."""
@@ -98,31 +125,89 @@ class OpenTunerLikeTuner(Tuner):
         self.n_initial_random = n_initial_random
         self.mutation_strength = mutation_strength
         self._bandit = AUCBandit(["mutate", "crossover", "random"])
+        self._initial_left = 0
+        #: technique that produced each in-flight learning suggestion,
+        #: keyed by frozen configuration (a list handles rare duplicates)
+        self._inflight: dict[tuple, list[str]] = {}
 
     # ------------------------------------------------------------------
-    def _run(self, budget: int) -> None:
-        n_initial = self.n_initial_random or max(3, min(budget // 6, 10))
-        seen: set[tuple] = set()
-        for _ in range(min(n_initial, budget)):
-            config = self.space.sample_one(self._rng)
-            seen.add(self.space.freeze(config))
-            self._evaluate(config, phase="initial")
+    def _reset_state(self, budget: int) -> None:
+        super()._reset_state(budget)
+        self._bandit = AUCBandit(["mutate", "crossover", "random"])
+        self._initial_left = 0
+        self._inflight = {}
 
-        while self._remaining(budget) > 0:
+    def _plan(self, budget: int) -> None:
+        n_initial = self.n_initial_random or max(3, min(budget // 6, 10))
+        self._initial_left = min(n_initial, budget)
+
+    def _propose(self, k: int, pending_keys: set[tuple]) -> list[tuple[Configuration, str]]:
+        proposals: list[tuple[Configuration, str]] = []
+        seen = self._evaluated_keys | set(pending_keys)
+        for _ in range(k):
+            if self._initial_left > 0:
+                self._initial_left -= 1
+                config = self.space.sample_one(self._rng)
+                seen.add(self.space.freeze(config))
+                proposals.append((config, "initial"))
+                continue
             technique = self._bandit.select(self._rng)
-            config = self._propose(technique, seen)
-            seen.add(self.space.freeze(config))
-            best_before = self.history.best_value()
-            result = self._evaluate(config)
-            improved = result.feasible and result.value < best_before
-            self._bandit.update(technique, improved)
+            config = self._propose_with(technique, seen)
+            key = self.space.freeze(config)
+            seen.add(key)
+            self._inflight.setdefault(key, []).append(technique)
+            proposals.append((config, "learning"))
+        return proposals
+
+    def _observe(self, configuration: Mapping[str, Any], result: ObjectiveResult) -> None:
+        """Credit the producing technique once its evaluation is told back.
+
+        ``improved`` compares against the best value *before* this
+        observation (the history already contains it when the hook runs).
+        Initial-phase samples — and history replay during checkpoint restore,
+        where the bandit state is loaded separately — carry no in-flight
+        technique and update nothing.
+        """
+        key = self.space.freeze(configuration)
+        techniques = self._inflight.get(key)
+        if not techniques:
+            return
+        technique = techniques.pop(0)
+        if not techniques:
+            del self._inflight[key]
+        prior = self._history.evaluations[:-1] if self._history is not None else []
+        best_before = min(
+            (e.value for e in prior if e.feasible), default=math.inf
+        )
+        improved = result.feasible and result.value < best_before
+        self._bandit.update(technique, improved)
+
+    # ------------------------------------------------------------------
+    def _state_dict(self) -> dict[str, Any]:
+        state = super()._state_dict()
+        state["initial_left"] = self._initial_left
+        state["bandit"] = self._bandit.state_dict()
+        state["inflight"] = [
+            {"key": frozen_key_to_json(key), "techniques": list(techniques)}
+            for key, techniques in self._inflight.items()
+        ]
+        return state
+
+    def _load_state_dict(self, payload: Mapping[str, Any]) -> None:
+        super()._load_state_dict(payload)
+        self._initial_left = int(payload.get("initial_left", 0))
+        self._bandit.load_state_dict(payload.get("bandit", {}))
+        self._inflight = {
+            frozen_key_from_json(entry["key"]): list(entry["techniques"])
+            for entry in payload.get("inflight", ())
+        }
 
     # ------------------------------------------------------------------
     def _elites(self) -> list[Configuration]:
         feasible = sorted(self.history.feasible_evaluations, key=lambda e: e.value)
         return [e.configuration for e in feasible[: self.elite_size]]
 
-    def _propose(self, technique: str, seen: set[tuple]) -> Configuration:
+    def _propose_with(self, technique: str, seen: set[tuple]) -> Configuration:
         elites = self._elites()
         proposal: Configuration | None = None
         if technique == "mutate" and elites:

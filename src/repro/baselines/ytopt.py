@@ -25,7 +25,7 @@ from typing import Any, Mapping, Sequence
 import numpy as np
 from scipy import stats
 
-from ..core.doe import initial_design
+from ..core.doe import initial_design_queue
 from ..core.tuner import Tuner
 from ..models.gp import GaussianProcess
 from ..models.random_forest import RandomForestRegressor
@@ -77,16 +77,19 @@ class YtoptLikeTuner(Tuner):
         return parameters
 
     # ------------------------------------------------------------------
-    def _run(self, budget: int) -> None:
+    def _plan(self, budget: int) -> None:
         n_initial = self.n_initial or max(3, min(budget // 5, 12))
-        for config in initial_design(self.space, min(n_initial, budget), self._rng):
-            if self._remaining(budget) <= 0:
-                return
-            self._evaluate(config, phase="initial")
+        self._doe_queue = initial_design_queue(self.space, n_initial, budget, self._rng)
 
-        while self._remaining(budget) > 0:
-            config = self._recommend()
-            self._evaluate(config)
+    def _propose(self, k: int, pending_keys: set[tuple]) -> list[tuple[Configuration, str]]:
+        proposals: list[tuple[Configuration, str]] = []
+        while self._doe_queue and len(proposals) < k:
+            proposals.append((self._doe_queue.popleft(), "initial"))
+        while len(proposals) < k:
+            extra = set(pending_keys)
+            extra.update(self.space.freeze(c) for c, _ in proposals)
+            proposals.append((self._recommend(extra), "learning"))
+        return proposals
 
     # ------------------------------------------------------------------
     def _training_data(self) -> tuple[list[Configuration], np.ndarray]:
@@ -101,9 +104,9 @@ class YtoptLikeTuner(Tuner):
         values = np.array([e.value if e.feasible else penalty for e in evaluations])
         return configs, values
 
-    def _recommend(self) -> Configuration:
+    def _recommend(self, extra_exclude: set[tuple] = frozenset()) -> Configuration:
         configs, values = self._training_data()
-        evaluated = {self.space.freeze(c) for c in configs}
+        evaluated = {self.space.freeze(c) for c in configs} | set(extra_exclude)
         if len(configs) < 2 or len(set(values.tolist())) < 2:
             return self._random_unseen(evaluated)
 

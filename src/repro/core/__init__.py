@@ -1,11 +1,17 @@
-"""The BaCO optimizer: acquisition, feasibility model, local search, main loop."""
+"""The BaCO optimizer: acquisition, feasibility model, local search, sessions."""
 
 from .acquisition import AcquisitionFunction, expected_improvement, lower_confidence_bound
 from .baco import BacoSettings, BacoTuner
-from .doe import default_doe_size, initial_design
+from .doe import default_doe_size, initial_design, initial_design_queue
 from .feasibility import FeasibilityModel, FeasibilityThresholdSchedule
-from .local_search import LocalSearchSettings, multistart_local_search, random_candidates
+from .local_search import (
+    LocalSearchSettings,
+    multistart_local_search,
+    multistart_local_search_batch,
+    random_candidates,
+)
 from .result import Evaluation, ObjectiveFunction, ObjectiveResult, TuningHistory
+from .session import Suggestion, TuningSession, drive
 from .tuner import Tuner
 
 __all__ = [
@@ -18,12 +24,17 @@ __all__ = [
     "LocalSearchSettings",
     "ObjectiveFunction",
     "ObjectiveResult",
+    "Suggestion",
     "Tuner",
     "TuningHistory",
+    "TuningSession",
     "default_doe_size",
+    "drive",
     "expected_improvement",
     "initial_design",
+    "initial_design_queue",
     "lower_confidence_bound",
     "multistart_local_search",
+    "multistart_local_search_batch",
     "random_candidates",
 ]

@@ -25,7 +25,7 @@ threshold, and the surrogate family (GP vs. RF).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Mapping
 
 import numpy as np
@@ -43,9 +43,9 @@ from ..space.parameters import (
 )
 from ..space.space import Configuration, SearchSpace
 from .acquisition import AcquisitionFunction
-from .doe import default_doe_size, initial_design
+from .doe import default_doe_size, initial_design_queue
 from .feasibility import FeasibilityModel, FeasibilityThresholdSchedule
-from .local_search import LocalSearchSettings, multistart_local_search, random_candidates
+from .local_search import LocalSearchSettings, multistart_local_search_batch
 from .result import ObjectiveResult
 from .tuner import Tuner
 
@@ -155,7 +155,6 @@ class BacoTuner(Tuner):
         self._space_rows_feasible: list[np.ndarray] = []
         self._feasible_values: list[float] = []
         self._feasible_flags: list[bool] = []
-        self._evaluated_keys: set[tuple] = set()
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -206,13 +205,17 @@ class BacoTuner(Tuner):
         )
 
     # ------------------------------------------------------------------
-    def _reset_caches(self) -> None:
+    def _reset_state(self, budget: int) -> None:
+        super()._reset_state(budget)
         self._gp_distance_cache.reset()
         self._space_rows_all.clear()
         self._space_rows_feasible.clear()
         self._feasible_values.clear()
         self._feasible_flags.clear()
-        self._evaluated_keys.clear()
+
+    def _plan(self, budget: int) -> None:
+        doe_size = self.settings.doe_size or default_doe_size(self.space, budget)
+        self._doe_queue = initial_design_queue(self.space, doe_size, budget, self._rng)
 
     def _observe(self, configuration: Mapping[str, Any], result: ObjectiveResult) -> None:
         """Keep the encoded-row caches in step with the recorded history.
@@ -225,7 +228,6 @@ class BacoTuner(Tuner):
         row = self._space_encoder.encode(configuration)
         self._space_rows_all.append(row)
         self._feasible_flags.append(result.feasible)
-        self._evaluated_keys.add(self.space.freeze(configuration))
         if result.feasible:
             self._space_rows_feasible.append(row)
             self._feasible_values.append(result.value)
@@ -234,23 +236,29 @@ class BacoTuner(Tuner):
             )
 
     # ------------------------------------------------------------------
-    def _run(self, budget: int) -> None:
-        self._reset_caches()
-        doe_size = self.settings.doe_size or default_doe_size(self.space, budget)
-        doe_size = min(doe_size, budget)
-        for config in initial_design(self.space, doe_size, self._rng):
-            if self._remaining(budget) <= 0:
-                return
-            self._evaluate(config, phase="initial")
-
-        while self._remaining(budget) > 0:
-            config = self._recommend()
-            self._evaluate(config, phase="learning")
+    def _propose(self, k: int, pending_keys: set[tuple]) -> list[tuple[Configuration, str]]:
+        proposals: list[tuple[Configuration, str]] = []
+        while self._doe_queue and len(proposals) < k:
+            proposals.append((self._doe_queue.popleft(), "initial"))
+        need = k - len(proposals)
+        if need > 0:
+            extra_exclude = set(pending_keys)
+            extra_exclude.update(self.space.freeze(c) for c, _ in proposals)
+            for config in self._recommend_batch(need, extra_exclude):
+                proposals.append((config, "learning"))
+        return proposals
 
     # ------------------------------------------------------------------
-    def _recommend(self) -> Configuration:
-        """One learning-phase recommendation."""
-        evaluated_keys = self._evaluated_keys
+    def _recommend_batch(self, k: int, extra_exclude: set[tuple]) -> list[Configuration]:
+        """``k`` learning-phase recommendations from one surrogate fit.
+
+        The surrogate is fitted once and the batched acquisition maximizer
+        returns the top-``k`` distinct configurations; ``extra_exclude``
+        (in-flight suggestions) is honoured alongside the evaluated set.
+        With ``k == 1`` and no in-flight work this is exactly the historical
+        per-iteration recommendation, RNG draw for RNG draw.
+        """
+        exclude = self._evaluated_keys | extra_exclude
         values = self._feasible_values
 
         if self._feasibility is not None:
@@ -260,7 +268,7 @@ class BacoTuner(Tuner):
 
         # Not enough feasible data to fit the surrogate: keep exploring randomly.
         if len(values) < 2 or len(set(values)) < 2:
-            return self._random_fallback(evaluated_keys)
+            return self._random_fallback_batch(k, exclude)
 
         surrogate = self._make_surrogate()
         if isinstance(surrogate, RandomForestRegressor):
@@ -281,7 +289,7 @@ class BacoTuner(Tuner):
                     distance_tensor=self._gp_distance_cache.tensor,
                 )
             except (ValueError, np.linalg.LinAlgError):
-                return self._random_fallback(evaluated_keys)
+                return self._random_fallback_batch(k, exclude)
             epsilon = self._epsilon_schedule.sample(self._rng)
             acquisition = AcquisitionFunction(
                 surrogate,
@@ -296,12 +304,21 @@ class BacoTuner(Tuner):
             n_starts=self.settings.n_local_search_starts,
             max_steps=self.settings.max_local_search_steps if self.settings.use_local_search else 0,
         )
-        config, value = multistart_local_search(
-            self.space, acquisition, self._rng, settings=settings, exclude=evaluated_keys
+        ranked = multistart_local_search_batch(
+            self.space, acquisition, self._rng, settings=settings, exclude=exclude, k=k
         )
-        if config is None or not np.isfinite(value):
-            return self._random_fallback(evaluated_keys)
-        return config
+        chosen = [config for config, value in ranked if np.isfinite(value)]
+        while len(chosen) < k:
+            taken = exclude | {self.space.freeze(c) for c in chosen}
+            chosen.append(self._random_fallback(taken))
+        return chosen
+
+    def _random_fallback_batch(self, k: int, exclude: set[tuple]) -> list[Configuration]:
+        chosen: list[Configuration] = []
+        while len(chosen) < k:
+            taken = exclude | {self.space.freeze(c) for c in chosen}
+            chosen.append(self._random_fallback(taken))
+        return chosen
 
     # ------------------------------------------------------------------
     def _fit_rf_acquisition(self, surrogate, values):

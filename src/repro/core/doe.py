@@ -9,13 +9,14 @@ can be studied (CoT-sampling baseline of the evaluation).
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Iterable
 
 import numpy as np
 
 from ..space.space import Configuration, SearchSpace
 
-__all__ = ["initial_design", "default_doe_size"]
+__all__ = ["initial_design", "initial_design_queue", "default_doe_size"]
 
 
 def default_doe_size(space: SearchSpace, budget: int) -> int:
@@ -52,3 +53,20 @@ def initial_design(
     while len(samples) < n_samples:
         samples.append(space.sample_one(rng, biased_cot=biased_cot))
     return samples
+
+
+def initial_design_queue(
+    space: SearchSpace,
+    n_samples: int,
+    budget: int,
+    rng: np.random.Generator,
+    **kwargs,
+) -> deque[Configuration]:
+    """The initial design as a consumable queue for ask/tell sessions.
+
+    The whole design is drawn up front (capped at ``budget``), exactly as the
+    historical push-driven loops did, so session-based runs consume the RNG in
+    the same order and stay bit-identical.  The remaining queue is part of the
+    tuner's snapshot state.
+    """
+    return deque(initial_design(space, min(n_samples, budget), rng, **kwargs))

@@ -30,7 +30,12 @@ import numpy as np
 
 from ..space.space import Configuration, SearchSpace
 
-__all__ = ["LocalSearchSettings", "multistart_local_search", "random_candidates"]
+__all__ = [
+    "LocalSearchSettings",
+    "multistart_local_search",
+    "multistart_local_search_batch",
+    "random_candidates",
+]
 
 
 class LocalSearchSettings:
@@ -79,6 +84,33 @@ def multistart_local_search(
     excluded or has acquisition ``-inf``, ``(None, -inf)`` is returned and the
     caller should fall back to random sampling.
     """
+    ranked = multistart_local_search_batch(
+        space, acquisition, rng, settings=settings, exclude=exclude, k=1
+    )
+    if not ranked:
+        return None, -np.inf
+    return ranked[0]
+
+
+def multistart_local_search_batch(
+    space: SearchSpace,
+    acquisition: Callable[[Sequence[Mapping[str, Any]]], np.ndarray],
+    rng: np.random.Generator,
+    settings: LocalSearchSettings | None = None,
+    exclude: Iterable[tuple] = (),
+    k: int = 1,
+) -> list[tuple[Configuration, float]]:
+    """The top-``k`` distinct configurations according to ``acquisition``.
+
+    One random-candidate batch and one lockstep multi-start climb serve the
+    whole batch: the per-start local optima are ranked by acquisition value
+    (de-duplicated by frozen key) and, when fewer than ``k`` remain, the
+    ranked random candidates back-fill the rest.  With ``k == 1`` the result
+    is exactly :func:`multistart_local_search`'s, including its RNG
+    consumption, so serial drivers stay bit-identical.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
     settings = settings or LocalSearchSettings()
     excluded = set(exclude)
 
@@ -86,7 +118,7 @@ def multistart_local_search(
         space, settings.n_random_samples, rng, biased_cot=settings.biased_cot
     )
     if not candidates:
-        return None, -np.inf
+        return []
     values = np.asarray(acquisition(candidates), dtype=float)
 
     order = np.argsort(-values)
@@ -123,22 +155,41 @@ def multistart_local_search(
             still_active.append(i)
         active = still_active
 
-    best_config: Configuration | None = None
-    best_value = -np.inf
+    # Per start: the first non-excluded of (climbed optimum, original start),
+    # kept only when its value beats -inf (NaN and -inf never win, matching
+    # the strict ``>`` of the single-result selection).
+    winners: list[tuple[Configuration, float]] = []
     for i, (config, value) in enumerate(zip(starts, start_values)):
         candidate_pool = [(current[i], current_values[i]), (config, value)]
         for cand, cand_value in candidate_pool:
             if space.freeze(cand) in excluded:
                 continue
-            if cand_value > best_value:
-                best_config, best_value = cand, cand_value
+            if cand_value > -np.inf:
+                winners.append((cand, float(cand_value)))
             break
+    # Stable sort: ties keep start order, so the first entry equals the old
+    # single-result argmax.
+    winners.sort(key=lambda pair: -pair[1])
 
-    if best_config is None:
-        # every local optimum was already evaluated: pick the best non-excluded
-        # random candidate instead.
-        for i in order:
-            if space.freeze(candidates[i]) not in excluded and np.isfinite(values[i]):
-                return candidates[i], float(values[i])
-        return None, -np.inf
-    return best_config, best_value
+    results: list[tuple[Configuration, float]] = []
+    taken: set[tuple] = set()
+    for cand, cand_value in winners:
+        key = space.freeze(cand)
+        if key in taken:
+            continue
+        taken.add(key)
+        results.append((cand, cand_value))
+        if len(results) == k:
+            return results
+
+    # Not enough distinct local optima: back-fill from the ranked random
+    # candidates (also the fallback when every optimum was already evaluated).
+    for i in order:
+        if len(results) == k:
+            break
+        key = space.freeze(candidates[i])
+        if key in excluded or key in taken or not np.isfinite(values[i]):
+            continue
+        taken.add(key)
+        results.append((candidates[i], float(values[i])))
+    return results

@@ -16,7 +16,28 @@ from typing import Any, Callable, Iterable, Mapping, Protocol, Sequence
 
 import numpy as np
 
-__all__ = ["ObjectiveResult", "ObjectiveFunction", "Evaluation", "TuningHistory"]
+__all__ = [
+    "ObjectiveResult",
+    "ObjectiveFunction",
+    "Evaluation",
+    "TuningHistory",
+    "configuration_to_json",
+    "configuration_from_json",
+]
+
+
+def configuration_to_json(configuration: Mapping[str, Any]) -> dict[str, Any]:
+    """A configuration as a JSON-safe dict (permutation tuples become lists)."""
+    return {
+        k: (list(v) if isinstance(v, tuple) else v) for k, v in configuration.items()
+    }
+
+
+def configuration_from_json(payload: Mapping[str, Any]) -> dict[str, Any]:
+    """Inverse of :func:`configuration_to_json` (lists become tuples)."""
+    return {
+        k: (tuple(v) if isinstance(v, list) else v) for k, v in payload.items()
+    }
 
 
 @dataclass(frozen=True)
@@ -144,10 +165,7 @@ class TuningHistory:
             "evaluations": [
                 {
                     "index": e.index,
-                    "configuration": {
-                        k: (list(v) if isinstance(v, tuple) else v)
-                        for k, v in e.configuration.items()
-                    },
+                    "configuration": configuration_to_json(e.configuration),
                     "value": e.value,
                     "feasible": e.feasible,
                     "phase": e.phase,
@@ -166,10 +184,7 @@ class TuningHistory:
             evaluation_seconds=payload.get("evaluation_seconds", 0.0),
         )
         for entry in payload["evaluations"]:
-            config = {
-                k: (tuple(v) if isinstance(v, list) else v)
-                for k, v in entry["configuration"].items()
-            }
+            config = configuration_from_json(entry["configuration"])
             history.evaluations.append(
                 Evaluation(
                     index=entry["index"],

@@ -1,15 +1,43 @@
-"""Common interface shared by BaCO and all baseline autotuners."""
+"""Common interface shared by BaCO and all baseline autotuners.
+
+Tuners are *proposal state machines* driven through an ask/tell
+:class:`~repro.core.session.TuningSession`:
+
+* :meth:`Tuner._begin` resets internal state and plans any up-front design
+  (the DoE queue), consuming randomness exactly as the historical push-driven
+  ``_run`` loops did;
+* :meth:`Tuner._propose` emits the next ``k`` configurations to evaluate;
+* :meth:`Tuner._observe` updates per-observation caches after each result is
+  told back;
+* :meth:`Tuner._state_dict` / :meth:`Tuner._load_state_dict` round-trip the
+  tuner-private state (queues, bandits, dedup sets) through JSON for
+  checkpoint / resume.
+
+:meth:`Tuner.tune` remains the convenience entry point used throughout the
+experiment harness — it is now a thin serial driver over the session API and
+produces bit-identical traces to the pre-inversion loops.
+"""
 
 from __future__ import annotations
 
 import time
 from abc import ABC, abstractmethod
-from typing import Any, Mapping
+from collections import deque
+from typing import TYPE_CHECKING, Any, Mapping
 
 import numpy as np
 
-from ..space.space import SearchSpace
-from .result import ObjectiveFunction, ObjectiveResult, TuningHistory
+from ..space.space import Configuration, SearchSpace
+from .result import (
+    ObjectiveFunction,
+    ObjectiveResult,
+    TuningHistory,
+    configuration_from_json,
+    configuration_to_json,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .session import TuningSession
 
 __all__ = ["Tuner"]
 
@@ -17,10 +45,10 @@ __all__ = ["Tuner"]
 class Tuner(ABC):
     """Base class: a tuner proposes configurations and records evaluations.
 
-    Subclasses implement :meth:`_run`, which drives the proposal loop and
-    calls :meth:`_evaluate` for each configuration.  The base class keeps the
-    bookkeeping (history, de-duplication of timing) uniform so that the
-    wall-clock comparison of Table 10 treats every tuner identically.
+    Subclasses implement :meth:`_propose` (and usually :meth:`_plan` /
+    :meth:`_observe`); the base class keeps the bookkeeping (history,
+    de-duplication, timing) uniform so that the wall-clock comparison of
+    Table 10 treats every tuner identically.
     """
 
     name = "tuner"
@@ -29,57 +57,144 @@ class Tuner(ABC):
         self.space = space
         self.seed = seed
         self._rng = np.random.default_rng(seed)
+        self._session: "TuningSession | None" = None
         self._history: TuningHistory | None = None
         self._objective: ObjectiveFunction | None = None
+        self._evaluated_keys: set[tuple] = set()
+        self._doe_queue: deque[Configuration] = deque()
 
     # ------------------------------------------------------------------
+    # the ask/tell session surface
+    # ------------------------------------------------------------------
+
+    def start_session(self, budget: int, benchmark_name: str = "") -> "TuningSession":
+        """Begin a fresh ask/tell session with ``budget`` evaluations."""
+        from .session import TuningSession
+
+        return TuningSession(self, budget, benchmark_name=benchmark_name)
+
     def tune(
         self,
         objective: ObjectiveFunction,
         budget: int,
         benchmark_name: str = "",
     ) -> TuningHistory:
-        """Run the tuner for ``budget`` black-box evaluations."""
-        if budget < 1:
-            raise ValueError("budget must be at least 1")
+        """Run the tuner for ``budget`` black-box evaluations.
+
+        A thin serial driver over :meth:`start_session`: ask one suggestion,
+        evaluate it, tell the result, repeat.  The produced trace is
+        bit-identical to the historical push-driven loop.
+        """
+        session = self.start_session(budget, benchmark_name=benchmark_name)
         self._objective = objective
-        self._history = TuningHistory(
-            tuner_name=self.name, benchmark_name=benchmark_name, seed=self.seed
-        )
         start = time.perf_counter()
-        self._run(budget)
+        while not session.done:
+            for suggestion in session.ask():
+                evaluation_start = time.perf_counter()
+                result = objective(suggestion.configuration)
+                session.tell(
+                    suggestion, result, elapsed=time.perf_counter() - evaluation_start
+                )
         total = time.perf_counter() - start
-        self._history.tuner_seconds = max(0.0, total - self._history.evaluation_seconds)
-        return self._history
+        history = session.history
+        history.tuner_seconds = max(0.0, total - history.evaluation_seconds)
+        return history
+
+    def _bind_session(self, session: "TuningSession") -> None:
+        """Attach the session's history so ``self.history`` works mid-run."""
+        self._session = session
+        self._history = session.history
 
     # ------------------------------------------------------------------
-    def _evaluate(self, configuration: Mapping[str, Any], phase: str = "learning") -> ObjectiveResult:
-        """Evaluate one configuration through the black box and record it."""
-        start = time.perf_counter()
-        result = self._objective(configuration)
-        self._history.evaluation_seconds += time.perf_counter() - start
-        self._history.append(configuration, result, phase=phase)
+    # state machine hooks (overridden by subclasses)
+    # ------------------------------------------------------------------
+
+    def _begin(self, budget: int) -> None:
+        """Reset state and plan the run (may consume randomness)."""
+        self._reset_state(budget)
+        self._plan(budget)
+
+    def _reset_state(self, budget: int) -> None:
+        """Clear all per-session state.  Must not consume randomness — the
+        checkpoint-restore path calls this before replaying the history."""
+        self._evaluated_keys = set()
+        self._doe_queue = deque()
+
+    def _plan(self, budget: int) -> None:
+        """Draw any up-front design (DoE).  Only called for fresh sessions."""
+
+    @abstractmethod
+    def _propose(self, k: int, pending_keys: set[tuple]) -> list[tuple[Configuration, str]]:
+        """Return exactly ``k`` ``(configuration, phase)`` proposals.
+
+        ``pending_keys`` holds the frozen keys of suggestions issued but not
+        yet told, so batch proposals can avoid duplicating in-flight work.
+        """
+
+    def _record_observation(
+        self, configuration: Mapping[str, Any], result: ObjectiveResult
+    ) -> None:
+        """Uniform bookkeeping applied to every told observation."""
+        self._evaluated_keys.add(self.space.freeze(configuration))
         self._observe(configuration, result)
-        return result
 
     def _observe(self, configuration: Mapping[str, Any], result: ObjectiveResult) -> None:
         """Hook called after each evaluation is recorded.
 
         Subclasses override this to maintain per-observation caches (encoded
         feature rows, incremental distance tensors, ...) in step with the
-        history instead of re-deriving them every iteration.
+        history instead of re-deriving them every iteration.  The hook is also
+        used to rebuild those caches when a checkpoint is restored, so it must
+        depend only on ``(configuration, result)`` — never on randomness.
         """
+
+    # ------------------------------------------------------------------
+    # checkpoint / resume state
+    # ------------------------------------------------------------------
+
+    def _state_dict(self) -> dict[str, Any]:
+        """Tuner-private state for session snapshots (JSON-serializable)."""
+        return {"doe_queue": [configuration_to_json(c) for c in self._doe_queue]}
+
+    def _load_state_dict(self, payload: Mapping[str, Any]) -> None:
+        """Restore the state produced by :meth:`_state_dict`."""
+        self._doe_queue = deque(
+            configuration_from_json(entry) for entry in payload.get("doe_queue", ())
+        )
+
+    # ------------------------------------------------------------------
+    # history access and legacy helpers
+    # ------------------------------------------------------------------
+
+    def _require_history(self) -> TuningHistory:
+        if self._history is None:
+            raise RuntimeError(
+                "no active tuning session — call tune() or start_session() first"
+            )
+        return self._history
 
     @property
     def history(self) -> TuningHistory:
-        if self._history is None:
-            raise RuntimeError("tune() has not been called yet")
-        return self._history
+        return self._require_history()
 
     def _remaining(self, budget: int) -> int:
-        return budget - len(self._history)
+        return budget - len(self._require_history())
 
-    # ------------------------------------------------------------------
-    @abstractmethod
-    def _run(self, budget: int) -> None:
-        """Propose and evaluate configurations until the budget is exhausted."""
+    def _evaluate(self, configuration: Mapping[str, Any], phase: str = "learning") -> ObjectiveResult:
+        """Evaluate one configuration through the black box and record it.
+
+        Legacy push-style helper kept for ad-hoc use inside an active
+        :meth:`tune` call; the session drivers evaluate through ask/tell
+        instead.
+        """
+        history = self._require_history()
+        if self._objective is None:
+            raise RuntimeError(
+                "no active tuning session — call tune() or start_session() first"
+            )
+        start = time.perf_counter()
+        result = self._objective(configuration)
+        history.evaluation_seconds += time.perf_counter() - start
+        history.append(configuration, result, phase=phase)
+        self._record_observation(configuration, result)
+        return result

@@ -19,6 +19,7 @@ variable                 meaning                                  default
 ``REPRO_TIMEOUT``        per-cell timeout in seconds (0 = none)   0
 ``REPRO_RETRIES``        re-attempts per failed / timed-out cell  0
 ``REPRO_RESUME``         skip cells already in the cache ("1")    1
+``REPRO_EVAL_WORKERS``   parallel black-box evaluations per cell  1
 =======================  =======================================  =========
 
 Setting ``REPRO_REPETITIONS=30 REPRO_BUDGET_SCALE=1.0 REPRO_FIDELITY=paper
@@ -75,6 +76,12 @@ class ExperimentConfig:
     retries: int = 0
     #: skip cells whose cached history already exists; False forces recomputation
     resume: bool = True
+    #: parallel black-box evaluations inside one tuner run: each ask/tell
+    #: session asks batches of this size and fans them out over a process
+    #: pool (1 = the serial trace; >1 trades per-iteration feedback for
+    #: evaluation throughput and changes the trace, so it is part of the
+    #: cache identity)
+    eval_workers: int = 1
 
     def __post_init__(self) -> None:
         if self.repetitions < 1:
@@ -89,6 +96,8 @@ class ExperimentConfig:
             raise ValueError("timeout must be positive (or None)")
         if self.retries < 0:
             raise ValueError("retries must be >= 0")
+        if self.eval_workers < 1:
+            raise ValueError("eval_workers must be >= 1")
 
     def scaled_budget(self, full_budget: int) -> int:
         """Budget actually used for one benchmark after scaling."""
@@ -110,4 +119,5 @@ def default_config() -> ExperimentConfig:
         timeout=timeout if timeout > 0 else None,
         retries=max(0, _env_int("REPRO_RETRIES", 0)),
         resume=os.environ.get("REPRO_RESUME", "1") != "0",
+        eval_workers=max(1, _env_int("REPRO_EVAL_WORKERS", 1)),
     )

@@ -26,6 +26,12 @@ Parallel workers re-resolve benchmarks by *name* through
 :func:`repro.workloads.registry.get_benchmark`; ad-hoc :class:`Benchmark`
 objects that are not registry-resolvable can only be executed with
 ``workers == 1`` (they are passed through in-process).
+
+Cell-level parallelism composes with *within-cell* parallel evaluation:
+with ``config.eval_workers > 1`` each cell drives its tuner through an
+ask/tell :class:`repro.core.session.TuningSession`, fanning ``ask(q)``
+batches out over a nested process pool (see
+:func:`repro.experiments.runner.run_single`).
 """
 
 from __future__ import annotations
@@ -49,7 +55,7 @@ from ..core.result import TuningHistory
 from ..workloads.base import Benchmark
 from ..workloads.registry import get_benchmark
 from .config import ExperimentConfig, default_config
-from .runner import TUNER_VARIANTS, _cache_path, run_single
+from .runner import TUNER_VARIANTS, _cache_path, _registry_resolvable, run_single
 
 __all__ = [
     "Cell",
@@ -258,15 +264,6 @@ def _run_cell_timed(
     started = time.time()
     history = _run_cell(cell, config, timeout)
     return time.time() - started, history
-
-
-def _registry_resolvable(name: str) -> bool:
-    """Whether worker processes can re-resolve this benchmark by name."""
-    try:
-        get_benchmark(name)
-    except KeyError:
-        return False
-    return True
 
 
 def _init_worker(parent_sys_path: list[str]) -> None:

@@ -16,14 +16,18 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
+import sys
+import time
 from pathlib import Path
-from typing import Callable, Iterable, Mapping, Sequence
+from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from ..baselines.opentuner import OpenTunerLikeTuner
 from ..baselines.random_search import CoTSamplingTuner, UniformSamplingTuner
 from ..baselines.ytopt import YtoptLikeTuner
 from ..core.baco import BacoSettings, BacoTuner
-from ..core.result import TuningHistory
+from ..core.result import ObjectiveResult, TuningHistory
+from ..core.session import Suggestion, TuningSession, drive
 from ..core.tuner import Tuner
 from ..space.space import SearchSpace
 from ..workloads.base import Benchmark
@@ -34,6 +38,10 @@ __all__ = [
     "MAIN_TUNERS",
     "TUNER_VARIANTS",
     "make_tuner",
+    "make_session",
+    "drive_parallel",
+    "load_session",
+    "save_session",
     "run_single",
     "run_benchmark",
     "run_suite",
@@ -131,13 +139,34 @@ def make_tuner(name: str, space: SearchSpace, seed: int, fidelity: str = "fast")
 # caching
 # ---------------------------------------------------------------------------
 
+def _effective_eval_workers(config: ExperimentConfig, benchmark: str) -> int:
+    """The ask() batch size a run of this benchmark will actually use.
+
+    Ad-hoc benchmarks cannot be re-resolved inside evaluation workers, so
+    they always run the serial trace regardless of ``config.eval_workers`` —
+    and must cache under the serial identity.
+    """
+    if config.eval_workers > 1 and _registry_resolvable(benchmark):
+        return config.eval_workers
+    return 1
+
+
 def _cache_path(
     config: ExperimentConfig, benchmark: str, tuner: str, budget: int, seed: int
 ) -> Path:
     key = f"{benchmark}|{tuner}|{budget}|{seed}|{config.fidelity}"
+    suffix = ""
+    eval_workers = _effective_eval_workers(config, benchmark)
+    if eval_workers > 1:
+        # batched ask/tell evaluation legitimately changes the trace, so it
+        # gets its own cache identity; serial paths keep their historical keys
+        key += f"|q{eval_workers}"
+        suffix = f"__q{eval_workers}"
     digest = hashlib.sha256(key.encode()).hexdigest()[:20]
     safe_tuner = "".join(c if c.isalnum() else "_" for c in tuner)
-    return config.cache_dir / f"{benchmark}__{safe_tuner}__b{budget}__s{seed}__{digest}.json"
+    return config.cache_dir / (
+        f"{benchmark}__{safe_tuner}__b{budget}__s{seed}{suffix}__{digest}.json"
+    )
 
 
 #: history fields that are wall-clock measurements, not part of the algorithmic
@@ -181,7 +210,12 @@ def run_single(
                     pass
             return history
     tuner = make_tuner(tuner_name, benchmark.space, seed, fidelity=config.fidelity)
-    history = tuner.tune(benchmark.evaluator, budget, benchmark_name=benchmark.name)
+    eval_workers = _effective_eval_workers(config, benchmark.name)
+    if eval_workers > 1:
+        session = tuner.start_session(budget, benchmark_name=benchmark.name)
+        history = drive_parallel(session, eval_workers)
+    else:
+        history = tuner.tune(benchmark.evaluator, budget, benchmark_name=benchmark.name)
     if config.use_cache:
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = history.to_dict()
@@ -189,6 +223,142 @@ def run_single(
         path.write_text(json.dumps(payload))
         _timing_path(path).write_text(json.dumps(timings))
     return history
+
+
+# ---------------------------------------------------------------------------
+# ask/tell sessions: parallel evaluation and checkpointing
+# ---------------------------------------------------------------------------
+
+def _registry_resolvable(name: str) -> bool:
+    """Whether evaluation workers can re-resolve this benchmark by name."""
+    try:
+        get_benchmark(name)
+    except KeyError:
+        return False
+    return True
+
+
+def _pool_init(parent_sys_path: list[str]) -> None:
+    """Make ``repro`` importable in spawned evaluation workers."""
+    for entry in parent_sys_path:
+        if entry not in sys.path:
+            sys.path.append(entry)
+
+
+def _evaluate_in_worker(
+    benchmark_name: str, configuration: Mapping[str, Any]
+) -> tuple[ObjectiveResult, float]:
+    """Process-pool task: one black-box evaluation, timed inside the worker."""
+    benchmark = get_benchmark(benchmark_name)
+    started = time.perf_counter()
+    result = benchmark.evaluator(configuration)
+    return result, time.perf_counter() - started
+
+
+def drive_parallel(
+    session: TuningSession,
+    eval_workers: int,
+    after_tell: Callable[[TuningSession], None] | None = None,
+) -> TuningHistory:
+    """Drive a session to completion with ``ask(q)`` batches over a process pool.
+
+    Suggestions of each batch are evaluated concurrently and told back in
+    suggestion-id order, so the trace is a deterministic function of
+    (tuner, seed, budget, q) regardless of worker scheduling.  The session's
+    benchmark must be registry-resolvable by name (workers re-resolve it).
+    ``after_tell`` runs after each told batch (checkpoint hooks).
+    """
+    from concurrent.futures import ProcessPoolExecutor
+    from multiprocessing import get_all_start_methods, get_context
+
+    benchmark_name = session.benchmark_name
+    context = get_context("fork" if "fork" in get_all_start_methods() else "spawn")
+    start = time.perf_counter()
+    with ProcessPoolExecutor(
+        max_workers=eval_workers,
+        mp_context=context,
+        initializer=_pool_init,
+        initargs=(list(sys.path),),
+    ) as pool:
+
+        def evaluate_batch(
+            suggestions: Sequence[Suggestion],
+        ) -> list[tuple[ObjectiveResult, float]]:
+            futures = [
+                pool.submit(_evaluate_in_worker, benchmark_name, s.configuration)
+                for s in suggestions
+            ]
+            return [future.result() for future in futures]
+
+        history = drive(
+            session,
+            batch_size=eval_workers,
+            evaluate_batch=evaluate_batch,
+            after_tell=after_tell,
+        )
+    total = time.perf_counter() - start
+    history.tuner_seconds = max(0.0, total - history.evaluation_seconds)
+    return history
+
+
+def make_session(
+    benchmark: Benchmark | str,
+    tuner_name: str,
+    budget: int,
+    seed: int,
+    fidelity: str = "fast",
+) -> tuple[TuningSession, Benchmark]:
+    """A fresh ask/tell session for one (benchmark, tuner, budget, seed) cell."""
+    if isinstance(benchmark, str):
+        benchmark = get_benchmark(benchmark)
+    tuner = make_tuner(tuner_name, benchmark.space, seed, fidelity=fidelity)
+    session = tuner.start_session(budget, benchmark_name=benchmark.name)
+    session.meta["fidelity"] = fidelity
+    return session, benchmark
+
+
+def save_session(session: TuningSession, path: Path | str, fidelity: str | None = None) -> Path:
+    """Write a crash-safe session checkpoint (atomic rename) and return it.
+
+    The payload embeds everything :func:`load_session` needs to rebuild the
+    tuner from the registry: the snapshot names the tuner variant, seed,
+    budget, benchmark, and (via the session metadata) the fidelity the tuner
+    was built with.  Pass ``fidelity`` only to override the recorded one.
+    """
+    path = Path(path)
+    if fidelity is not None:
+        session.meta["fidelity"] = fidelity
+    payload = session.snapshot()
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text(json.dumps(payload))
+    os.replace(tmp, path)
+    return path
+
+
+def load_session(path: Path | str) -> tuple[TuningSession, Benchmark]:
+    """Rebuild a live session (and its benchmark) from a checkpoint file.
+
+    The benchmark is re-resolved by name through the workload registry and a
+    fresh tuner is constructed with the checkpointed variant name, seed, and
+    fidelity before :meth:`TuningSession.restore` replays the state.
+    """
+    payload = json.loads(Path(path).read_text())
+    meta = payload["session"]
+    benchmark_name = meta.get("benchmark_name", "")
+    if not benchmark_name:
+        raise ValueError(
+            f"checkpoint {path} does not name a registry benchmark; "
+            "restore it manually via TuningSession.restore()"
+        )
+    benchmark = get_benchmark(benchmark_name)
+    tuner = make_tuner(
+        payload["tuner"]["name"],
+        benchmark.space,
+        payload["tuner"]["seed"],
+        fidelity=payload.get("meta", {}).get("fidelity", "fast"),
+    )
+    return TuningSession.restore(payload, tuner), benchmark
 
 
 def run_benchmark(

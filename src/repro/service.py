@@ -1,0 +1,218 @@
+"""Long-running tuning service: ask/tell over JSON lines.
+
+``python -m repro serve`` wraps a :class:`repro.core.session.TuningSession`
+in a line-oriented JSON protocol so a tuning run can outlive any single
+client process: the service proposes configurations, an *external* system
+(a real compiler toolchain, a build farm, a measurement harness) evaluates
+them at its own pace, and results flow back as ``tell`` requests.  Combined
+with ``snapshot`` / ``restore`` the service survives crashes and restarts
+without losing — or changing — a single evaluation.
+
+One request per line in, one JSON response per line out.  Requests carry an
+``op`` field; any other fields are op-specific.  Responses always carry
+``ok`` (and ``error`` when ``ok`` is false — the service keeps serving after
+errors).
+
+=========  ==============================================================
+op         meaning
+=========  ==============================================================
+start      create a session: ``benchmark``, ``tuner``, ``budget``,
+           ``seed`` (optional ``fidelity``)
+ask        propose configurations: optional ``n`` (default 1)
+tell       report a result: ``id``, ``value``, optional ``feasible``
+           (default true) and ``elapsed`` seconds
+status     session progress: evaluations, best value, pending ids
+snapshot   checkpoint: optional ``path`` writes a file, otherwise the
+           payload is returned inline
+restore    resume: ``path`` to a checkpoint file, or inline ``payload``
+shutdown   stop serving (the response is still written)
+=========  ==============================================================
+
+Example exchange::
+
+    {"op": "start", "benchmark": "hpvm_bfs", "tuner": "BaCO", "budget": 20, "seed": 0}
+    {"op": "ask", "n": 2}
+    {"op": "tell", "id": 0, "value": 3.4}
+    {"op": "tell", "id": 1, "value": 7.1, "feasible": true}
+    {"op": "snapshot", "path": "results/session.ckpt.json"}
+    {"op": "shutdown"}
+
+The protocol is deliberately a stub of a network service: the framing
+(stdin/stdout) is trivial to lift onto a socket or HTTP layer, while all the
+hard state problems (determinism, checkpointing, in-flight suggestions) are
+solved by the session underneath.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any, Callable, IO, Mapping
+
+from .core.result import ObjectiveResult
+from .core.session import TuningSession
+
+__all__ = ["SessionService", "serve"]
+
+
+class SessionService:
+    """Stateful dispatcher behind the JSON-lines tuning service."""
+
+    def __init__(self) -> None:
+        self._session: TuningSession | None = None
+        self._handlers: dict[str, Callable[[Mapping[str, Any]], dict[str, Any]]] = {
+            "start": self._op_start,
+            "ask": self._op_ask,
+            "tell": self._op_tell,
+            "status": self._op_status,
+            "snapshot": self._op_snapshot,
+            "restore": self._op_restore,
+            "shutdown": self._op_shutdown,
+        }
+        self.running = True
+
+    # ------------------------------------------------------------------
+    def handle_line(self, line: str) -> str:
+        """One request line in, one response line out (never raises)."""
+        try:
+            request = json.loads(line)
+            if not isinstance(request, Mapping):
+                raise ValueError("request must be a JSON object")
+        except (json.JSONDecodeError, ValueError) as exc:
+            return json.dumps({"ok": False, "error": f"bad request: {exc}"})
+        return json.dumps(self.handle(request))
+
+    def handle(self, request: Mapping[str, Any]) -> dict[str, Any]:
+        op = request.get("op")
+        handler = self._handlers.get(op)
+        if handler is None:
+            return {
+                "ok": False,
+                "error": f"unknown op {op!r}; available: {sorted(self._handlers)}",
+            }
+        try:
+            return {"ok": True, "op": op, **handler(request)}
+        except Exception as exc:  # noqa: BLE001 - the service must keep serving
+            return {"ok": False, "op": op, "error": f"{type(exc).__name__}: {exc}"}
+
+    # ------------------------------------------------------------------
+    def _require_session(self) -> TuningSession:
+        if self._session is None:
+            raise RuntimeError("no active session — send a start or restore request")
+        return self._session
+
+    def _op_start(self, request: Mapping[str, Any]) -> dict[str, Any]:
+        from .experiments.runner import make_session
+
+        session, benchmark = make_session(
+            request["benchmark"],
+            request.get("tuner", "BaCO"),
+            int(request["budget"]),
+            int(request.get("seed", 0)),
+            fidelity=request.get("fidelity", "fast"),
+        )
+        self._session = session
+        return {
+            "benchmark": benchmark.name,
+            "tuner": session.tuner.name,
+            "budget": session.budget,
+            "seed": session.tuner.seed,
+            "dimension": benchmark.space.dimension,
+        }
+
+    def _op_ask(self, request: Mapping[str, Any]) -> dict[str, Any]:
+        session = self._require_session()
+        suggestions = session.ask(int(request.get("n", 1)))
+        return {
+            "suggestions": [s.to_dict() for s in suggestions],
+            "done": session.done,
+        }
+
+    def _op_tell(self, request: Mapping[str, Any]) -> dict[str, Any]:
+        session = self._require_session()
+        feasible = bool(request.get("feasible", True))
+        if "value" not in request and feasible:
+            raise ValueError("tell needs a 'value' (or 'feasible': false)")
+        value = float(request.get("value", math.inf))
+        evaluation = session.tell(
+            int(request["id"]),
+            ObjectiveResult(value=value, feasible=feasible),
+            elapsed=float(request.get("elapsed", 0.0)),
+        )
+        return {
+            "index": evaluation.index,
+            "best_value": session.history.best_value(),
+            "done": session.done,
+        }
+
+    def _op_status(self, request: Mapping[str, Any]) -> dict[str, Any]:
+        session = self._require_session()
+        best = session.history.best_value()
+        return {
+            "benchmark": session.benchmark_name,
+            "tuner": session.tuner.name,
+            "budget": session.budget,
+            "evaluations": len(session.history),
+            "remaining": session.remaining,
+            "pending_ids": [s.id for s in session.pending],
+            "best_value": None if math.isinf(best) else best,
+            "done": session.done,
+        }
+
+    def _op_snapshot(self, request: Mapping[str, Any]) -> dict[str, Any]:
+        session = self._require_session()
+        path = request.get("path")
+        if path is None:
+            return {"snapshot": session.snapshot()}
+        from .experiments.runner import save_session
+
+        written = save_session(session, Path(path))
+        return {"path": str(written)}
+
+    def _op_restore(self, request: Mapping[str, Any]) -> dict[str, Any]:
+        if "path" in request:
+            from .experiments.runner import load_session
+
+            session, benchmark = load_session(request["path"])
+        elif "payload" in request:
+            from .experiments.runner import make_tuner
+            from .workloads.registry import get_benchmark
+
+            payload = request["payload"]
+            benchmark = get_benchmark(payload["session"]["benchmark_name"])
+            tuner = make_tuner(
+                payload["tuner"]["name"],
+                benchmark.space,
+                payload["tuner"]["seed"],
+                fidelity=payload.get("meta", {}).get("fidelity", "fast"),
+            )
+            session = TuningSession.restore(payload, tuner)
+        else:
+            raise ValueError("restore needs a 'path' or an inline 'payload'")
+        self._session = session
+        return {
+            "benchmark": benchmark.name,
+            "tuner": session.tuner.name,
+            "evaluations": len(session.history),
+            "remaining": session.remaining,
+            "pending_ids": [s.id for s in session.pending],
+        }
+
+    def _op_shutdown(self, request: Mapping[str, Any]) -> dict[str, Any]:
+        self.running = False
+        return {"stopping": True}
+
+
+def serve(stdin: IO[str], stdout: IO[str]) -> int:
+    """Run the JSON-lines loop until shutdown or EOF.  Returns an exit code."""
+    service = SessionService()
+    for line in stdin:
+        line = line.strip()
+        if not line:
+            continue
+        stdout.write(service.handle_line(line) + "\n")
+        stdout.flush()
+        if not service.running:
+            break
+    return 0

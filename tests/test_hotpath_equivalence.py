@@ -1,6 +1,6 @@
-"""Equivalence guarantees for the vectorized hot path.
+"""Equivalence guarantees for the vectorized hot path and the session API.
 
-Three layers of protection for the encoding-layer refactor:
+Four layers of protection for the encoding-layer and ask/tell refactors:
 
 * the vectorized per-type distance blocks (including the Kendall semimetric,
   whose legacy implementation was a per-pair Python double loop) are pinned
@@ -9,12 +9,18 @@ Three layers of protection for the encoding-layer refactor:
   and the incremental train-train tensor matches a full recompute,
 * a seeded end-to-end ``BacoTuner`` run reproduces the recorded pre-refactor
   evaluation trace bit for bit on one RISE, one TACO, and one HPVM2FPGA
-  workload (``tests/data/bitcompat_trajectories.json``).
+  workload (``tests/data/bitcompat_trajectories.json``) — now driven through
+  the ask/tell ``TuningSession`` underneath ``tune()``,
+* every tuner checkpointed mid-run and restored **in a fresh process**
+  completes with a trace bit-identical to an uninterrupted run.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import subprocess
+import sys
 from pathlib import Path
 
 import numpy as np
@@ -199,3 +205,72 @@ class TestTrajectoryBitCompatibility:
         ]
         assert got == fx["evaluations"]
         assert list(history.best_so_far()) == fx["incumbent"]
+
+
+# the script a "crashed and restarted" tuning process would run: load the
+# checkpoint, rebuild the tuner from the registry, finish the run, dump the
+# trace as JSON
+_RESUME_SCRIPT = """
+import json, sys
+from repro.core.session import drive
+from repro.experiments.runner import load_session
+
+session, benchmark = load_session(sys.argv[1])
+history = drive(session, benchmark.evaluator)
+payload = history.to_dict()
+payload.pop("tuner_seconds", None)
+payload.pop("evaluation_seconds", None)
+json.dump(payload, open(sys.argv[2], "w"))
+"""
+
+
+class TestCheckpointResumeBitCompatibility:
+    """Satellite guarantee: snapshot at iteration k, restore in a *fresh
+    process*, and the completed trace is bit-identical to an uninterrupted
+    run — for BaCO and every baseline."""
+
+    BENCHMARK = "hpvm_bfs"
+    BUDGET = 12
+    INTERRUPT_AT = 5
+
+    @pytest.mark.parametrize(
+        "tuner_name",
+        ["BaCO", "ATF with OpenTuner", "Ytopt", "Uniform Sampling", "CoT Sampling"],
+    )
+    def test_fresh_process_resume_identical(self, tuner_name, tmp_path):
+        from repro.experiments.runner import make_session, make_tuner, save_session
+        from repro.workloads.registry import get_benchmark
+
+        bench = get_benchmark(self.BENCHMARK)
+
+        # the uninterrupted reference trace
+        reference = make_tuner(tuner_name, bench.space, seed=17).tune(
+            bench.evaluator, self.BUDGET, benchmark_name=bench.name
+        )
+        expected = reference.to_dict()
+        expected.pop("tuner_seconds", None)
+        expected.pop("evaluation_seconds", None)
+
+        # run to the interruption point, checkpoint, and "crash"
+        session, _ = make_session(self.BENCHMARK, tuner_name, self.BUDGET, 17)
+        while len(session.history) < self.INTERRUPT_AT:
+            [suggestion] = session.ask(1)
+            session.tell(suggestion, bench.evaluator(suggestion.configuration))
+        checkpoint = tmp_path / "session.ckpt.json"
+        save_session(session, checkpoint)
+        del session
+
+        # restore and finish in a fresh interpreter
+        out = tmp_path / "resumed_history.json"
+        proc = subprocess.run(
+            [sys.executable, "-c", _RESUME_SCRIPT, str(checkpoint), str(out)],
+            capture_output=True,
+            text=True,
+            env={
+                **os.environ,
+                "PYTHONPATH": str(Path(__file__).resolve().parents[1] / "src"),
+            },
+        )
+        assert proc.returncode == 0, proc.stderr
+        resumed = json.loads(out.read_text())
+        assert resumed == expected
