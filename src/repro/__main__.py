@@ -329,19 +329,33 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         n_distance_configs=max(20, int(args.distance_configs * scale)),
         n_train=max(10, int(args.train * scale)),
         n_candidates=max(50, int(args.candidates * scale)),
+        n_generated=max(64, int(args.generated * scale)),
         repeats=args.repeats,
     )
-    headers = ["Section", "Legacy", "Vectorized", "Speedup"]
+    headers = ["Section", "Legacy", "Vectorized", "Speedup", "Throughput"]
     rows = []
     for name, section in payload["sections"].items():
         legacy_s = section.get("legacy_seconds")
         new_s = section.get("vectorized_seconds", section.get("incremental_seconds"))
+        throughput = next(
+            (
+                f"{section[key]:,.0f} {key.split('_')[1]}/s"
+                for key in (
+                    "vectorized_candidates_per_sec",
+                    "vectorized_configs_per_sec",
+                    "incremental_fits_per_sec",
+                )
+                if key in section
+            ),
+            "—",
+        )
         rows.append(
             [
                 name,
                 f"{legacy_s * 1e3:.1f} ms",
                 f"{new_s * 1e3:.1f} ms",
                 f"{section['speedup']:.1f}x",
+                throughput,
             ]
         )
     print(format_table(headers, rows, title="tuner hot path: legacy dicts vs encoded rows"))
@@ -466,6 +480,10 @@ def main(argv: list[str] | None = None) -> int:
     bench_parser.add_argument(
         "--candidates", type=int, default=1000,
         help="candidate batch size for the EI-maximization section",
+    )
+    bench_parser.add_argument(
+        "--generated", type=int, default=256,
+        help="batch size for the candidate-generation / constraint-eval sections",
     )
     bench_parser.add_argument(
         "--repeats", type=int, default=3, help="timing repeats (minimum is reported)"

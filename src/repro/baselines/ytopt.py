@@ -110,18 +110,26 @@ class YtoptLikeTuner(Tuner):
         if len(configs) < 2 or len(set(values.tolist())) < 2:
             return self._random_unseen(evaluated)
 
-        candidates = self.space.sample(self._rng, self.n_candidates)
-        unique: dict[tuple, Configuration] = {}
-        for candidate in candidates:
+        # one vectorized feasible draw; the candidate matrix doubles as the
+        # surrogate's feature matrix (rows are the space's encoding)
+        rows = self.space.sample_rows(self._rng, self.n_candidates)
+        decode = self.space.encoder.decode
+        pool: list[Configuration] = []
+        pool_rows: list[np.ndarray] = []
+        seen: set[tuple] = set()
+        for row in rows:
+            candidate = decode(row)
             key = self.space.freeze(candidate)
-            if key not in evaluated:
-                unique.setdefault(key, candidate)
-        if not unique:
+            if key in evaluated or key in seen:
+                continue
+            seen.add(key)
+            pool.append(candidate)
+            pool_rows.append(row)
+        if not pool:
             return self._random_unseen(evaluated)
-        pool = list(unique.values())
 
         try:
-            ei = self._expected_improvement(configs, values, pool)
+            ei = self._expected_improvement(configs, values, pool, np.asarray(pool_rows))
         except (ValueError, np.linalg.LinAlgError):
             return self._random_unseen(evaluated)
         return pool[int(np.argmax(ei))]
@@ -131,13 +139,14 @@ class YtoptLikeTuner(Tuner):
         configs: Sequence[Mapping[str, Any]],
         values: np.ndarray,
         pool: Sequence[Mapping[str, Any]],
+        pool_rows: np.ndarray,
     ) -> np.ndarray:
         best = float(np.min(values))
         if self.surrogate == "rf":
             features = self.space.encode_many(configs)
             model = RandomForestRegressor(n_trees=self.rf_trees, rng=self._rng)
             model.fit(features, values)
-            mean, variance = model.predict_with_uncertainty(self.space.encode_many(pool))
+            mean, variance = model.predict_with_uncertainty(pool_rows)
         else:
             model = GaussianProcess(
                 self._gp_parameters,
@@ -151,15 +160,20 @@ class YtoptLikeTuner(Tuner):
             )
             model.fit(configs, values)
             best = float(model.to_model_scale(best))
-            mean, variance = model.predict(pool, include_noise=True)
+            if model.encoder.signature() == self.space.encoder.signature():
+                mean, variance = model.predict_rows(pool_rows, include_noise=True)
+            else:
+                mean, variance = model.predict(pool, include_noise=True)
         std = np.sqrt(np.maximum(variance, 1e-18))
         improvement = best - mean
         z = improvement / std
         return np.maximum(improvement * stats.norm.cdf(z) + std * stats.norm.pdf(z), 0.0)
 
     def _random_unseen(self, evaluated: set[tuple]) -> Configuration:
-        for _ in range(32):
-            config = self.space.sample_one(self._rng)
+        """First unseen configuration of one batched draw (give-up: one more)."""
+        decode = self.space.encoder.decode
+        for row in self.space.sample_rows(self._rng, 32):
+            config = decode(row)
             if self.space.freeze(config) not in evaluated:
                 return config
         return self.space.sample_one(self._rng)

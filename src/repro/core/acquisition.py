@@ -139,5 +139,58 @@ class AcquisitionFunction:
             )
         return values
 
+    def evaluate_rows(self, rows: np.ndarray, encoder: Any) -> np.ndarray:
+        """Acquisition values for pre-encoded rows in ``encoder``'s layout.
+
+        The fast path of the row-space acquisition optimizer: when the GP's
+        model-space encoding matches the search space's (``signature()``
+        equality — true unless a transform ablation changes the warps), the
+        candidate matrix flows straight into ``predict_rows`` and the
+        feasibility RF without ever materializing configuration dicts.
+        Mismatching layouts decode once and re-encode for the model — the
+        correctness fallback for e.g. the no-transformations ablation.
+        """
+        if len(rows) == 0:
+            return np.empty(0)
+        include_noise = not self.noiseless
+        configurations = None
+        if (
+            hasattr(self.model, "encoder")
+            and self.model.encoder.signature() == encoder.signature()
+        ):
+            mean, variance = self.model.predict_rows(rows, include_noise=include_noise)
+        else:
+            configurations = encoder.decode_batch(rows)
+            if hasattr(self.model, "encoder"):
+                mean, variance = self.model.predict_rows(
+                    self.model.encoder.encode_batch(configurations),
+                    include_noise=include_noise,
+                )
+            else:
+                mean, variance = self.model.predict(
+                    configurations, include_noise=include_noise
+                )
+        if self.kind == "ei":
+            values = expected_improvement(mean, variance, self._best_model_scale)
+        else:
+            values = lower_confidence_bound(mean, variance, self.lcb_beta)
+        if self.feasibility_model is not None and self.feasibility_model.is_trained:
+            if (
+                hasattr(self.feasibility_model, "encoder")
+                and self.feasibility_model.encoder.signature() == encoder.signature()
+            ):
+                probability = self.feasibility_model.predict_probability_rows(rows)
+            else:
+                # duck-typed feasibility models (no encoder attribute) get
+                # the dict surface, mirroring __call__'s hasattr guard
+                if configurations is None:
+                    configurations = encoder.decode_batch(rows)
+                probability = self.feasibility_model.predict_probability(configurations)
+            values = values * probability
+            values = np.where(
+                probability >= self.feasibility_threshold, values, -np.inf
+            )
+        return values
+
     def single(self, configuration: Mapping[str, Any]) -> float:
         return float(self([configuration])[0])

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from typing import Any, Mapping
 
 import numpy as np
+from scipy import stats
 
 from ..models.distances import DistanceComputer, IncrementalDistanceTensor
 from ..models.gp import GaussianProcess
@@ -261,7 +262,10 @@ class BacoTuner(Tuner):
         exclude = self._evaluated_keys | extra_exclude
         values = self._feasible_values
 
-        if self._feasibility is not None:
+        # nothing told back yet (e.g. ask(n) straight after start with n
+        # beyond the DoE): skip the feasibility fit — vstack of zero rows is
+        # an error — and let the too-few-values guard below go random
+        if self._feasibility is not None and self._space_rows_all:
             self._feasibility.fit_rows(
                 np.vstack(self._space_rows_all), self._feasible_flags
             )
@@ -323,37 +327,67 @@ class BacoTuner(Tuner):
     # ------------------------------------------------------------------
     def _fit_rf_acquisition(self, surrogate, values):
         """EI over an RF surrogate (used for the Fig. 8 GP-vs-RF comparison)."""
-        from scipy import stats
-
         targets = np.log(values) if self.settings.use_transformations else np.asarray(values, dtype=float)
         features = np.vstack(self._space_rows_feasible)
         surrogate.fit(features, targets)
-        best = float(np.min(targets))
-        feasibility = self._feasibility
         epsilon = self._epsilon_schedule.sample(self._rng)
-        space = self.space
-
-        def acquisition(candidates):
-            # one shared encode: the RF surrogate and the feasibility model
-            # both consume the original space's encoding
-            feats = space.encode_batch(candidates)
-            mean, var = surrogate.predict_with_uncertainty(feats)
-            std = np.sqrt(np.maximum(var, 1e-18))
-            improvement = best - mean
-            z = improvement / std
-            ei = improvement * stats.norm.cdf(z) + std * stats.norm.pdf(z)
-            ei = np.maximum(ei, 0.0)
-            if feasibility is not None and feasibility.is_trained:
-                probability = feasibility.predict_probability_rows(feats)
-                ei = np.where(probability >= epsilon, ei * probability, -np.inf)
-            return ei
-
-        return acquisition
+        return _RFAcquisition(
+            surrogate,
+            best=float(np.min(targets)),
+            feasibility=self._feasibility,
+            epsilon=epsilon,
+            space=self.space,
+        )
 
     def _random_fallback(self, evaluated_keys: set[tuple]) -> Configuration:
-        """Random feasible configuration, avoiding re-evaluations when possible."""
-        for _ in range(64):
-            config = self.space.sample_one(self._rng)
+        """Random feasible configuration, avoiding re-evaluations when possible.
+
+        One row batch replaces the historical loop of up to 64 scalar draws;
+        the final give-up draw (everything already evaluated) stays a single
+        extra sample, as before.
+        """
+        rows = self.space.sample_rows(self._rng, 64)
+        decode = self.space.encoder.decode
+        for row in rows:
+            config = decode(row)
             if self.space.freeze(config) not in evaluated_keys:
                 return config
         return self.space.sample_one(self._rng)
+
+
+class _RFAcquisition:
+    """Feasibility-weighted EI over an RF surrogate, batch- and row-capable.
+
+    Both the surrogate and the feasibility model consume the original space's
+    encoding, so the row-space acquisition optimizer feeds its candidate
+    matrices straight through without any decode.
+    """
+
+    def __init__(self, surrogate, best, feasibility, epsilon, space) -> None:
+        self.surrogate = surrogate
+        self.best = best
+        self.feasibility = feasibility
+        self.epsilon = epsilon
+        self.space = space
+
+    def _from_rows(self, rows: np.ndarray) -> np.ndarray:
+        mean, var = self.surrogate.predict_with_uncertainty(rows)
+        std = np.sqrt(np.maximum(var, 1e-18))
+        improvement = self.best - mean
+        z = improvement / std
+        ei = improvement * stats.norm.cdf(z) + std * stats.norm.pdf(z)
+        ei = np.maximum(ei, 0.0)
+        if self.feasibility is not None and self.feasibility.is_trained:
+            probability = self.feasibility.predict_probability_rows(rows)
+            ei = np.where(probability >= self.epsilon, ei * probability, -np.inf)
+        return ei
+
+    def __call__(self, candidates) -> np.ndarray:
+        return self._from_rows(self.space.encode_batch(candidates))
+
+    def evaluate_rows(self, rows: np.ndarray, encoder) -> np.ndarray:
+        if encoder.signature() == self.space.encoder.signature():
+            return self._from_rows(rows)
+        return self._from_rows(
+            self.space.encode_batch(encoder.decode_batch(rows))
+        )

@@ -33,25 +33,35 @@ def initial_design(
     deduplicate: bool = True,
     max_attempts_factor: int = 20,
 ) -> list[Configuration]:
-    """Sample the initial configurations uniformly from the feasible region."""
+    """Sample the initial configurations uniformly from the feasible region.
+
+    Draws whole row batches through :meth:`SearchSpace.sample_rows` — the
+    first batch covers the requested size, follow-up batches cover whatever
+    de-duplication rejected — instead of one rejection-sampled configuration
+    per loop iteration.
+    """
     if n_samples < 1:
         raise ValueError("n_samples must be at least 1")
     samples: list[Configuration] = []
     seen: set[tuple] = set()
+    decode = space.encoder.decode
     attempts = 0
     max_attempts = max_attempts_factor * n_samples
     while len(samples) < n_samples and attempts < max_attempts:
-        attempts += 1
-        config = space.sample_one(rng, biased_cot=biased_cot)
-        key = space.freeze(config)
-        if deduplicate and key in seen:
-            continue
-        seen.add(key)
-        samples.append(config)
+        batch = min(n_samples - len(samples), max_attempts - attempts)
+        attempts += batch
+        for row in space.sample_rows(rng, batch, biased_cot=biased_cot):
+            config = decode(row)
+            key = space.freeze(config)
+            if deduplicate and key in seen:
+                continue
+            seen.add(key)
+            samples.append(config)
     # If the space is tiny (fewer feasible points than requested), allow
     # duplicates rather than failing: the tuner still needs a full DoE.
-    while len(samples) < n_samples:
-        samples.append(space.sample_one(rng, biased_cot=biased_cot))
+    if len(samples) < n_samples:
+        rows = space.sample_rows(rng, n_samples - len(samples), biased_cot=biased_cot)
+        samples.extend(decode(row) for row in rows)
     return samples
 
 

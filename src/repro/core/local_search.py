@@ -14,12 +14,13 @@ Because known constraints are enforced when generating both the random batch
 and the neighbourhoods, the acquisition optimizer only ever proposes feasible
 configurations.
 
-The hill-climbing phase runs all starts in **lockstep**: at every step the
-neighbourhoods of every still-active start are concatenated and scored with
-a *single* acquisition call — one batched GP predict and one batched
-feasibility pass per step, instead of one per start.  Each start still takes
-its own argmax over its own neighbourhood slice, so the per-start climbing
-trajectories are exactly those of the sequential formulation.
+The whole optimizer runs in **row space**: the random batch is one
+``SearchSpace.sample_rows`` call, every climb step materializes the union of
+all still-active starts' neighbourhoods as a single row matrix
+(``SearchSpace.neighbour_rows_batch`` — candidate values gathered from the
+Chain-of-Trees, feasibility by compiled residual constraints), and one
+batched acquisition call scores it.  Configurations are decoded to dicts only
+for the returned winners, i.e. at the tuner boundary.
 """
 
 from __future__ import annotations
@@ -35,6 +36,7 @@ __all__ = [
     "multistart_local_search",
     "multistart_local_search_batch",
     "random_candidates",
+    "random_candidate_rows",
 ]
 
 
@@ -56,18 +58,55 @@ class LocalSearchSettings:
         self.biased_cot = biased_cot
 
 
+def _unique_rows(rows: np.ndarray) -> np.ndarray:
+    """Distinct rows in first-seen order (row equality == config equality)."""
+    if len(rows) == 0:
+        return rows
+    _, first = np.unique(rows, axis=0, return_index=True)
+    return rows[np.sort(first)]
+
+
+def random_candidate_rows(
+    space: SearchSpace,
+    n_samples: int,
+    rng: np.random.Generator,
+    biased_cot: bool = False,
+) -> np.ndarray:
+    """Uniform feasible candidates as encoded rows; duplicates collapsed."""
+    return _unique_rows(space.sample_rows(rng, n_samples, biased_cot=biased_cot))
+
+
 def random_candidates(
     space: SearchSpace,
     n_samples: int,
     rng: np.random.Generator,
     biased_cot: bool = False,
 ) -> list[Configuration]:
-    """Uniform feasible candidates; duplicates are collapsed."""
-    configs = space.sample(rng, n_samples, biased_cot=biased_cot)
-    unique: dict[tuple, Configuration] = {}
-    for config in configs:
-        unique.setdefault(space.freeze(config), config)
-    return list(unique.values())
+    """Uniform feasible candidates; duplicates are collapsed (dict boundary)."""
+    rows = random_candidate_rows(space, n_samples, rng, biased_cot=biased_cot)
+    decode = space.encoder.decode
+    return [decode(row) for row in rows]
+
+
+def _row_scorer(
+    acquisition: Callable[[Sequence[Mapping[str, Any]]], np.ndarray],
+    space: SearchSpace,
+) -> Callable[[np.ndarray], np.ndarray]:
+    """Adapt an acquisition to score encoded rows.
+
+    :class:`~repro.core.acquisition.AcquisitionFunction` (and the RF
+    acquisition) expose ``evaluate_rows`` and consume the matrix directly;
+    plain dict-based callables — custom acquisitions, tests — are served by
+    decoding each batch once.
+    """
+    evaluate_rows = getattr(acquisition, "evaluate_rows", None)
+    if evaluate_rows is not None:
+        encoder = space.encoder
+        return lambda rows: np.asarray(evaluate_rows(rows, encoder), dtype=float)
+    decode = space.encoder.decode
+    return lambda rows: np.asarray(
+        acquisition([decode(row) for row in rows]), dtype=float
+    )
 
 
 def multistart_local_search(
@@ -102,83 +141,84 @@ def multistart_local_search_batch(
 ) -> list[tuple[Configuration, float]]:
     """The top-``k`` distinct configurations according to ``acquisition``.
 
-    One random-candidate batch and one lockstep multi-start climb serve the
-    whole batch: the per-start local optima are ranked by acquisition value
+    One random-row batch and one lockstep multi-start climb serve the whole
+    batch: the per-start local optima are ranked by acquisition value
     (de-duplicated by frozen key) and, when fewer than ``k`` remain, the
-    ranked random candidates back-fill the rest.  With ``k == 1`` the result
-    is exactly :func:`multistart_local_search`'s, including its RNG
-    consumption, so serial drivers stay bit-identical.
+    ranked random candidates back-fill the rest.
     """
     if k < 1:
         raise ValueError("k must be >= 1")
     settings = settings or LocalSearchSettings()
     excluded = set(exclude)
+    scorer = _row_scorer(acquisition, space)
+    decode = space.encoder.decode
 
-    candidates = random_candidates(
+    candidates = random_candidate_rows(
         space, settings.n_random_samples, rng, biased_cot=settings.biased_cot
     )
-    if not candidates:
+    if len(candidates) == 0:
         return []
-    values = np.asarray(acquisition(candidates), dtype=float)
+    values = scorer(candidates)
 
     order = np.argsort(-values)
-    starts = [candidates[i] for i in order[: settings.n_starts]]
-    start_values = [float(values[i]) for i in order[: settings.n_starts]]
+    n_starts = min(settings.n_starts, len(candidates))
+    starts = candidates[order[:n_starts]].copy()
+    start_values = values[order[:n_starts]].astype(float)
 
-    # Lockstep hill climbing: per step, one batched acquisition call scores
-    # the union of every active start's neighbourhood; each start then takes
-    # the argmax within its own slice, exactly as if it climbed alone.
-    current = list(starts)
-    current_values = list(start_values)
-    active = list(range(len(starts)))
+    # Lockstep hill climbing: per step, one neighbour-matrix build and one
+    # batched acquisition call cover every active start; each start then takes
+    # the argmax within its own owner slice, exactly as if it climbed alone.
+    current = starts.copy()
+    current_values = start_values.copy()
+    active = list(range(n_starts))
     for _ in range(settings.max_steps):
         if not active:
             break
-        batch: list[Configuration] = []
-        spans: list[tuple[int, int, int]] = []  # (start index, lo, hi)
-        for i in active:
-            neighbours = space.neighbours(current[i], feasible_only=True)
-            if neighbours:
-                spans.append((i, len(batch), len(batch) + len(neighbours)))
-                batch.extend(neighbours)
-        if not batch:
+        batch, owners = space.neighbour_rows_batch(current[active])
+        if len(batch) == 0:
             break
-        batch_values = np.asarray(acquisition(batch), dtype=float)
+        batch_values = scorer(batch)
         still_active: list[int] = []
-        for i, lo, hi in spans:
-            span_values = batch_values[lo:hi]
-            idx = int(np.argmax(span_values))
-            if span_values[idx] <= current_values[i]:
+        for position, start_index in enumerate(active):
+            span = np.nonzero(owners == position)[0]
+            if len(span) == 0:
                 continue
-            current[i] = batch[lo + idx]
-            current_values[i] = float(span_values[idx])
-            still_active.append(i)
+            span_values = batch_values[span]
+            best = int(np.argmax(span_values))
+            if span_values[best] <= current_values[start_index]:
+                continue
+            current[start_index] = batch[span[best]]
+            current_values[start_index] = float(span_values[best])
+            still_active.append(start_index)
         active = still_active
 
     # Per start: the first non-excluded of (climbed optimum, original start),
-    # kept only when its value beats -inf (NaN and -inf never win, matching
-    # the strict ``>`` of the single-result selection).
+    # kept only when its value beats -inf (NaN and -inf never win).
     winners: list[tuple[Configuration, float]] = []
-    for i, (config, value) in enumerate(zip(starts, start_values)):
-        candidate_pool = [(current[i], current_values[i]), (config, value)]
-        for cand, cand_value in candidate_pool:
-            if space.freeze(cand) in excluded:
+    for i in range(n_starts):
+        candidate_pool = [
+            (current[i], float(current_values[i])),
+            (starts[i], float(start_values[i])),
+        ]
+        for row, row_value in candidate_pool:
+            config = decode(row)
+            if space.freeze(config) in excluded:
                 continue
-            if cand_value > -np.inf:
-                winners.append((cand, float(cand_value)))
+            if row_value > -np.inf:
+                winners.append((config, row_value))
             break
-    # Stable sort: ties keep start order, so the first entry equals the old
+    # Stable sort: ties keep start order, so the first entry equals the
     # single-result argmax.
     winners.sort(key=lambda pair: -pair[1])
 
     results: list[tuple[Configuration, float]] = []
     taken: set[tuple] = set()
-    for cand, cand_value in winners:
-        key = space.freeze(cand)
+    for config, config_value in winners:
+        key = space.freeze(config)
         if key in taken:
             continue
         taken.add(key)
-        results.append((cand, cand_value))
+        results.append((config, config_value))
         if len(results) == k:
             return results
 
@@ -187,9 +227,12 @@ def multistart_local_search_batch(
     for i in order:
         if len(results) == k:
             break
-        key = space.freeze(candidates[i])
-        if key in excluded or key in taken or not np.isfinite(values[i]):
+        if not np.isfinite(values[i]):
+            continue
+        config = decode(candidates[i])
+        key = space.freeze(config)
+        if key in excluded or key in taken:
             continue
         taken.add(key)
-        results.append((candidates[i], float(values[i])))
+        results.append((config, float(values[i])))
     return results

@@ -8,15 +8,24 @@ evaluations (PAPER.md Fig. 2, Table 10 wall-clock):
 * **gp_fit** — one learning-phase GP fit after appending a single new
   observation (the incremental-tensor case vs. a full recompute),
 * **ei_maximization** — scoring a candidate batch with feasibility-weighted
-  EI (cross distances, kernel, RF feasibility pass).
+  EI (cross distances, kernel, RF feasibility pass),
+* **candidate_generation** — drawing a feasible candidate batch from a
+  constrained space (leaf-matrix Chain-of-Trees gathers + batched parameter
+  draws + compiled residual constraints vs. the scalar per-configuration
+  rejection loop),
+* **constraint_eval** — known-constraint feasibility checks for a batch of
+  configurations (compiled column evaluators over encoded rows vs. one
+  Python ``eval`` per constraint per configuration).
 
-Each section times the **legacy** path — per-call feature re-derivation from
-raw configuration dicts, the per-pair Kendall double loop, per-row decision
-tree traversal — against the **vectorized** encoding-layer path
-(``ConfigEncoder`` rows + ``DistanceComputer.pairwise_rows`` + batched RF),
-and reports throughput plus speedup.  Results are written as JSON
-(``BENCH_tuner_hotpath.json``) to seed the performance trajectory; run it via
-``python -m repro bench``.
+Each section times the **legacy / scalar-reference** path — per-call feature
+re-derivation from raw configuration dicts, the per-pair Kendall double loop,
+per-row decision tree traversal, per-level tree walks with one weighted
+``rng.choice`` per depth, per-config constraint ``eval`` — against the
+**vectorized** row path (``ConfigEncoder`` rows + ``DistanceComputer.
+pairwise_rows`` + batched RF + ``SearchSpace.sample_rows`` /
+``feasible_mask_rows``), and reports throughput plus speedup.  Results are
+written as JSON (``BENCH_tuner_hotpath.json``) to seed the performance
+trajectory; run it via ``python -m repro bench``.
 """
 
 from __future__ import annotations
@@ -33,6 +42,7 @@ from ..core.acquisition import AcquisitionFunction
 from ..core.feasibility import FeasibilityModel
 from ..models.distances import DistanceComputer
 from ..models.gp import GaussianProcess
+from ..space.constraints import Constraint
 from ..space.parameters import (
     CategoricalParameter,
     IntegerParameter,
@@ -42,7 +52,12 @@ from ..space.parameters import (
 )
 from ..space.space import SearchSpace
 
-__all__ = ["DEFAULT_OUTPUT", "hotpath_space", "run_hotpath_benchmarks"]
+__all__ = [
+    "DEFAULT_OUTPUT",
+    "hotpath_space",
+    "constrained_space",
+    "run_hotpath_benchmarks",
+]
 
 DEFAULT_OUTPUT = Path("BENCH_tuner_hotpath.json")
 
@@ -66,6 +81,36 @@ def hotpath_space(permutation_metric: str = "kendall") -> SearchSpace:
             PermutationParameter("loop_order", 6, metric=permutation_metric),
         ],
         build_chain_of_trees=False,
+    )
+
+
+def constrained_space() -> SearchSpace:
+    """A RISE-shaped constrained space for the candidate-generation sections.
+
+    Two Chain-of-Trees groups (tile size divisible by work-group size, capped
+    products), a residual constraint over a continuous/integer pair that no
+    tree can capture, and unconstrained categorical/permutation knobs — the
+    same structure the paper's GPU workloads exhibit.
+    """
+    powers = [1, 2, 4, 8, 16, 32, 64, 128]
+    return SearchSpace(
+        [
+            OrdinalParameter("ts0", powers, transform="log"),
+            OrdinalParameter("ls0", powers[:6], transform="log"),
+            OrdinalParameter("ts1", powers, transform="log"),
+            OrdinalParameter("ls1", powers[:6], transform="log"),
+            IntegerParameter("reps", 1, 16),
+            RealParameter("eps", 0.01, 1.0, transform="log"),
+            CategoricalParameter("sched", ["static", "dynamic", "guided", "auto"]),
+            PermutationParameter("loop_order", 5),
+        ],
+        [
+            Constraint("ts0 % ls0 == 0"),
+            Constraint("ts0 * ls0 <= 4096"),
+            Constraint("ts1 % ls1 == 0"),
+            Constraint("ts1 * ls1 <= 4096"),
+            Constraint("reps <= 8 or eps >= 0.25"),
+        ],
     )
 
 
@@ -226,6 +271,87 @@ def _bench_ei_maximization(
     }
 
 
+def _bench_candidate_generation(
+    space: SearchSpace, n: int, repeats: int
+) -> dict[str, Any]:
+    """Feasible batch draws: scalar rejection loop vs. row-space sampler."""
+
+    def legacy() -> list[dict[str, Any]]:
+        return space.sample_reference(np.random.default_rng(31), n)
+
+    def vectorized() -> np.ndarray:
+        return space.sample_rows(np.random.default_rng(31), n)
+
+    legacy_s = _best_of(legacy, repeats)
+    vector_s = _best_of(vectorized, repeats)
+    return {
+        "n_candidates": n,
+        "legacy_seconds": legacy_s,
+        "vectorized_seconds": vector_s,
+        "legacy_candidates_per_sec": n / legacy_s,
+        "vectorized_candidates_per_sec": n / vector_s,
+        "speedup": legacy_s / vector_s,
+    }
+
+
+def _bench_constraint_eval(space: SearchSpace, n: int, repeats: int) -> dict[str, Any]:
+    """Known-constraint evaluation: per-config ``eval`` vs. compiled columns.
+
+    Both pipelines are measured on their native inputs, exactly as their
+    samplers hold them.  The batch is a feasible draw — configurations a
+    sampler *accepts*, each of which the pre-refactor scalar sampler pushed
+    through one Python ``eval`` per constraint with a freshly rebuilt
+    ``{"__builtins__": {}}`` namespace (replicated verbatim as the legacy
+    reference, like ``pairwise_reference`` in the distance section).  The row
+    sampler holds the same batch as raw value columns (its leaf gathers and
+    batched draws produce columns directly) and applies every compiled
+    evaluator once.  ``feasible_mask_rows``'s agreement with ``is_feasible``
+    is pinned by tests; this section times the constraint-checking work
+    itself.
+    """
+    from ..space.constraints import _ALLOWED_FUNCTIONS
+
+    configs = space.sample_reference(np.random.default_rng(37), n)
+    rows = space.encode_batch(configs)
+    constraints = space.constraints
+    evaluators = [c.compile_columns() for c in constraints]
+    constrained = sorted(set().union(*(c.variables for c in constraints)))
+    columns = space.encoder.value_columns(rows, names=constrained)
+
+    def legacy_evaluate(constraint, configuration) -> bool:
+        # the seed implementation of Constraint.evaluate, namespace rebuild
+        # and all (the live scalar path now reuses a frozen namespace)
+        namespace = dict(_ALLOWED_FUNCTIONS)
+        for var in constraint.variables:
+            namespace[var] = configuration[var]
+        return bool(eval(constraint._code, {"__builtins__": {}}, namespace))  # noqa: S307
+
+    def legacy() -> list[bool]:
+        return [
+            all(legacy_evaluate(c, config) for c in constraints) for config in configs
+        ]
+
+    def vectorized() -> np.ndarray:
+        mask = np.ones(n, dtype=bool)
+        for evaluator in evaluators:
+            mask &= evaluator(columns)
+        return mask
+
+    verdicts = vectorized()
+    assert verdicts.tolist() == legacy(), "compiled constraints diverge from eval()"
+    legacy_s = _best_of(legacy, repeats)
+    vector_s = _best_of(vectorized, repeats)
+    return {
+        "n_configs": n,
+        "n_constraints": len(constraints),
+        "legacy_seconds": legacy_s,
+        "vectorized_seconds": vector_s,
+        "legacy_configs_per_sec": n / legacy_s,
+        "vectorized_configs_per_sec": n / vector_s,
+        "speedup": legacy_s / vector_s,
+    }
+
+
 # ---------------------------------------------------------------------------
 # driver
 # ---------------------------------------------------------------------------
@@ -234,18 +360,26 @@ def run_hotpath_benchmarks(
     n_distance_configs: int = 300,
     n_train: int = 80,
     n_candidates: int = 1000,
+    n_generated: int = 256,
     repeats: int = 3,
     permutation_metric: str = "kendall",
 ) -> dict[str, Any]:
     """Run all sections and return the JSON-ready payload."""
     space = hotpath_space(permutation_metric)
+    generation_space = constrained_space()
     sections = {
         "distance_build": _bench_distance_build(space, n_distance_configs, repeats),
         "gp_fit": _bench_gp_fit(space, n_train, repeats),
         "ei_maximization": _bench_ei_maximization(space, n_train, n_candidates, repeats),
+        "candidate_generation": _bench_candidate_generation(
+            generation_space, n_generated, repeats
+        ),
+        "constraint_eval": _bench_constraint_eval(
+            generation_space, n_generated, repeats
+        ),
     }
     return {
-        "schema": "BENCH_tuner_hotpath/v1",
+        "schema": "BENCH_tuner_hotpath/v2",
         "space": {
             "dimension": space.dimension,
             "types": space.parameter_type_codes(),

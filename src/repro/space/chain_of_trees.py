@@ -73,6 +73,10 @@ class Tree:
         self.constraints = list(constraints)
         self._max_nodes = max_nodes
         self._node_count = 0
+        #: materialized-leaf caches, built lazily on first use; the tree is
+        #: immutable after construction so they are never invalidated
+        self._leaves: list[dict[str, Any]] | None = None
+        self._biased_cumulative: np.ndarray | None = None
         self.root = CoTNode(value=None, depth=-1)
         self._build(self.root, {})
         self._count_leaves(self.root)
@@ -119,7 +123,11 @@ class Tree:
     # -- queries ----------------------------------------------------------
     @property
     def n_feasible(self) -> int:
-        """Number of feasible partial configurations represented by this tree."""
+        """Number of feasible partial configurations represented by this tree.
+
+        O(1): the per-node leaf counts are computed once at build time and the
+        tree is immutable afterwards.
+        """
         return self.root.leaf_count
 
     def contains(self, configuration: Mapping[str, Any]) -> bool:
@@ -160,19 +168,68 @@ class Tree:
             values[param.name] = node.value
         return values
 
-    def iter_leaves(self) -> Iterator[dict[str, Any]]:
-        """Yield every feasible partial configuration."""
-        stack: list[tuple[CoTNode, dict[str, Any]]] = [(self.root, {})]
+    def _materialize_leaves(self) -> None:
+        """One walk filling both leaf caches (list + biased sampling weights).
+
+        The walk preserves the historical ``iter_leaves`` stack order, and the
+        per-leaf probability of the biased per-level sampling scheme (product
+        of ``1 / n_children`` along the path) is accumulated alongside so
+        ``sample_leaf_indices`` can draw either mode from the same index.
+        """
+        leaves: list[dict[str, Any]] = []
+        biased: list[float] = []
+        stack: list[tuple[CoTNode, dict[str, Any], float]] = [(self.root, {}, 1.0)]
         while stack:
-            node, partial = stack.pop()
+            node, partial, probability = stack.pop()
             if node.depth == len(self.parameters) - 1:
-                yield dict(partial)
+                leaves.append(dict(partial))
+                biased.append(probability)
                 continue
             next_param = self.parameters[node.depth + 1]
+            share = probability / len(node.children) if node.children else 0.0
             for child in node.children:
                 nxt = dict(partial)
                 nxt[next_param.name] = child.value
-                stack.append((child, nxt))
+                stack.append((child, nxt, share))
+        self._leaves = leaves
+        cumulative = np.cumsum(np.asarray(biased, dtype=float))
+        # guard against floating drift so searchsorted can never fall off the end
+        cumulative[-1] = 1.0
+        self._biased_cumulative = cumulative
+
+    def leaves(self) -> list[dict[str, Any]]:
+        """The materialized feasible partial configurations (cached).
+
+        Trees are immutable after construction, so the first call's walk is
+        reused forever.  Callers must not mutate the returned dictionaries.
+        """
+        if self._leaves is None:
+            self._materialize_leaves()
+        return self._leaves
+
+    def iter_leaves(self) -> Iterator[dict[str, Any]]:
+        """Yield every feasible partial configuration (cached materialization)."""
+        for leaf in self.leaves():
+            yield dict(leaf)
+
+    def sample_leaf_indices(
+        self, rng: np.random.Generator, n: int, biased: bool = False
+    ) -> np.ndarray:
+        """Draw ``n`` leaf indices (into :meth:`leaves`) in one vectorized pass.
+
+        Uniform mode draws indices uniformly — exactly the bias-free
+        uniform-over-leaves distribution of :meth:`sample_leaf`.  Biased mode
+        inverts the cumulative per-leaf probability of the ATF-style
+        per-level walk, reproducing :meth:`sample_path`'s distribution
+        without walking the tree per sample.
+        """
+        if self._leaves is None:
+            self._materialize_leaves()
+        if not biased:
+            return rng.integers(len(self._leaves), size=n)
+        return np.searchsorted(
+            self._biased_cumulative, rng.random(n), side="right"
+        ).clip(0, len(self._leaves) - 1)
 
     def feasible_values(
         self, parameter_name: str, configuration: Mapping[str, Any]

@@ -45,6 +45,24 @@ from .parameters import (
 
 __all__ = ["ColumnBlock", "ConfigEncoder"]
 
+#: Elementwise ``math.log`` / ``math.exp``.  Deliberately NOT ``np.log`` /
+#: ``np.exp``: vectorized libm kernels may differ from the scalar functions
+#: in the last ulp, and the scalar ``Parameter._warp`` path defines the
+#: canonical encoding.  ``frompyfunc`` keeps column code bit-identical to it.
+_MATH_LOG = np.frompyfunc(math.log, 1, 1)
+_MATH_EXP = np.frompyfunc(math.exp, 1, 1)
+
+
+def _nearest_indices(sorted_table: np.ndarray, column: np.ndarray) -> np.ndarray:
+    """Index of the nearest table entry per element (ties to the lower index,
+    matching the scalar decode's ``argmin``)."""
+    positions = np.searchsorted(sorted_table, column).clip(0, len(sorted_table) - 1)
+    lower = (positions - 1).clip(0)
+    take_lower = np.abs(sorted_table[lower] - column) <= np.abs(
+        sorted_table[positions] - column
+    )
+    return np.where(take_lower, lower, positions)
+
 
 @dataclass(frozen=True)
 class ColumnBlock:
@@ -88,6 +106,22 @@ class ConfigEncoder:
         self.blocks: list[ColumnBlock] = blocks
         self.width: int = offset
         self._by_name = {b.parameter.name: b for b in blocks}
+        # Per-block lookup tables for the vectorized column paths.  np.log is
+        # not bitwise-identical to math.log on every libm, so discrete
+        # parameters warp through tables built with the scalar ``_warp`` once;
+        # column encodings are then exact ``np.take`` lookups that agree bit
+        # for bit with :meth:`encode_batch`.
+        self._ordinal_raw: dict[str, np.ndarray] = {}
+        self._ordinal_warped: dict[str, np.ndarray] = {}
+        for block in blocks:
+            param = block.parameter
+            if block.kind == "numeric" and isinstance(param, OrdinalParameter):
+                self._ordinal_raw[param.name] = np.asarray(
+                    [float(v) for v in param.values], dtype=float
+                )
+                self._ordinal_warped[param.name] = np.asarray(
+                    [param._warp(v) for v in param.values], dtype=float
+                )
 
     # ------------------------------------------------------------------
     def columns(self, name: str) -> slice:
@@ -147,6 +181,153 @@ class ConfigEncoder:
                     [block.parameter.canonical(v) for v in column], dtype=float
                 )
         return out
+
+    # ------------------------------------------------------------------
+    # column (whole-batch) paths
+    # ------------------------------------------------------------------
+    def encode_value_column(self, name: str, values: Any) -> np.ndarray:
+        """Encode one parameter's raw-value column as its ``(n, width)`` block.
+
+        Values must be legal, canonical values of the parameter (the batch
+        samplers and leaf caches guarantee this).  Discrete parameters encode
+        through exact lookup tables, so the result is bit-identical to
+        :meth:`encode_batch` of the corresponding configurations.
+        """
+        block = self._by_name[name]
+        param = block.parameter
+        if block.kind == "numeric":
+            if name in self._ordinal_warped:
+                indices = np.searchsorted(
+                    self._ordinal_raw[name], np.asarray(values, dtype=float)
+                )
+                return self._ordinal_warped[name][indices][:, None]
+            column = np.asarray(values, dtype=float)
+            if getattr(param, "transform", "linear") == "log":
+                column = _MATH_LOG(np.asarray(values)).astype(float)
+            return column[:, None]
+        if block.kind == "categorical":
+            index_of = param.index_of
+            return np.asarray([index_of(v) for v in values], dtype=float)[:, None]
+        # permutation: accept an (n, k) matrix or a column of tuples
+        if isinstance(values, np.ndarray) and values.ndim == 2:
+            return values.astype(float)
+        return np.asarray([tuple(v) for v in values], dtype=float)
+
+    def encode_columns(self, columns: Mapping[str, Any]) -> np.ndarray:
+        """Encode raw-value columns (one entry per parameter) as a row matrix.
+
+        The column-major inverse of :meth:`value_columns`; bit-identical to
+        ``encode_batch`` on the corresponding configuration dicts.
+        """
+        lengths = {len(columns[b.parameter.name]) for b in self.blocks}
+        if len(lengths) != 1:
+            raise ValueError(f"ragged or missing columns: lengths {sorted(lengths)}")
+        (n,) = lengths
+        out = np.empty((n, self.width), dtype=float)
+        for block in self.blocks:
+            name = block.parameter.name
+            out[:, block.columns] = self.encode_value_column(name, columns[name])
+        return out
+
+    def value_columns(
+        self, rows: np.ndarray, names: "Sequence[str] | None" = None
+    ) -> dict[str, np.ndarray]:
+        """Exact raw values of every parameter as per-parameter columns.
+
+        The vectorized counterpart of :meth:`decode` for *legal* encoded rows:
+        numeric parameters come back as float columns of raw (unwarped)
+        values, categorical parameters as object columns of category values,
+        permutations as object columns of tuples.  Like ``decode``, arbitrary
+        rows are projected to the nearest legal value per parameter.
+        ``names`` restricts the work to the listed parameters (the constraint
+        mask only ever needs the constrained columns).
+        """
+        rows = np.asarray(rows, dtype=float)
+        if rows.ndim != 2 or rows.shape[1] != self.width:
+            raise ValueError(f"expected rows of width {self.width}, got {rows.shape}")
+        wanted = None if names is None else set(names)
+        columns: dict[str, np.ndarray] = {}
+        for block in self.blocks:
+            param = block.parameter
+            name = param.name
+            if wanted is not None and name not in wanted:
+                continue
+            if block.kind == "numeric":
+                column = rows[:, block.start]
+                if name in self._ordinal_warped:
+                    columns[name] = self._ordinal_raw[name][
+                        _nearest_indices(self._ordinal_warped[name], column)
+                    ]
+                elif isinstance(param, IntegerParameter):
+                    raw = np.exp(column) if param.transform == "log" else column
+                    columns[name] = np.clip(np.rint(raw), param.low, param.high)
+                else:  # real
+                    raw = (
+                        _MATH_EXP(column).astype(float)
+                        if param.transform == "log"
+                        else column.astype(float)
+                    )
+                    columns[name] = np.clip(raw, param.low, param.high)
+            elif block.kind == "categorical":
+                indices = np.clip(
+                    np.rint(rows[:, block.start]).astype(int), 0, len(param.values) - 1
+                )
+                table = np.empty(len(param.values), dtype=object)
+                table[:] = param.values
+                columns[name] = table[indices]
+            else:  # permutation
+                column = np.empty(len(rows), dtype=object)
+                column[:] = [
+                    _decode_permutation(param, row) for row in rows[:, block.columns]
+                ]
+                columns[name] = column
+        return columns
+
+    def legal_mask(self, rows: np.ndarray) -> np.ndarray:
+        """Which rows are faithful encodings of legal parameter values.
+
+        Row-space analogue of ``all(param.contains(value) ...)``: ordinal and
+        categorical columns must hit a table entry exactly, integer columns
+        must be exact warps of in-range integers, real columns must lie in the
+        warped interval, and permutation blocks must round to a permutation.
+        """
+        rows = np.asarray(rows, dtype=float)
+        mask = np.ones(len(rows), dtype=bool)
+        for block in self.blocks:
+            param = block.parameter
+            if block.kind == "numeric":
+                column = rows[:, block.start]
+                if param.name in self._ordinal_warped:
+                    warped = self._ordinal_warped[param.name]
+                    positions = np.searchsorted(warped, column).clip(0, len(warped) - 1)
+                    mask &= warped[positions] == column
+                elif isinstance(param, IntegerParameter):
+                    raw = np.rint(
+                        np.exp(column) if param.transform == "log" else column
+                    )
+                    rewarped = (
+                        _MATH_LOG(raw).astype(float)
+                        if param.transform == "log"
+                        else raw
+                    )
+                    mask &= (raw >= param.low) & (raw <= param.high) & (rewarped == column)
+                else:  # real
+                    mask &= (column >= param._warp(param.low)) & (
+                        column <= param._warp(param.high)
+                    )
+            elif block.kind == "categorical":
+                column = rows[:, block.start]
+                indices = np.rint(column)
+                mask &= (indices == column) & (indices >= 0) & (
+                    indices < len(param.values)
+                )
+            else:  # permutation
+                sub = rows[:, block.columns]
+                rounded = np.rint(sub)
+                mask &= np.all(rounded == sub, axis=1) & np.all(
+                    np.sort(rounded, axis=1) == np.arange(block.width), axis=1
+                )
+        return mask
 
     # ------------------------------------------------------------------
     # decoding

@@ -67,6 +67,19 @@ class Parameter(ABC):
     def sample(self, rng: np.random.Generator) -> Any:
         """Draw a value uniformly at random."""
 
+    def sample_batch(self, rng: np.random.Generator, n: int) -> Any:
+        """Draw ``n`` values as one column (vectorized where the type allows).
+
+        Returns a float column for numeric types, an object column for
+        categoricals, and an ``(n, n_elements)`` matrix for permutations.
+        The distribution matches ``n`` independent :meth:`sample` calls; the
+        RNG consumption differs (one batched draw instead of ``n`` scalar
+        ones), which is what makes the row samplers fast.
+        """
+        column = np.empty(n, dtype=object)
+        column[:] = [self.sample(rng) for _ in range(n)]
+        return column
+
     @abstractmethod
     def contains(self, value: Any) -> bool:
         """Return ``True`` if ``value`` is a legal value of this parameter."""
@@ -163,6 +176,11 @@ class RealParameter(NumericParameter):
             return float(np.exp(rng.uniform(math.log(self.low), math.log(self.high))))
         return float(rng.uniform(self.low, self.high))
 
+    def sample_batch(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        if self.transform == "log":
+            return np.exp(rng.uniform(math.log(self.low), math.log(self.high), size=n))
+        return rng.uniform(self.low, self.high, size=n)
+
     def contains(self, value: Any) -> bool:
         try:
             v = float(value)
@@ -211,6 +229,9 @@ class IntegerParameter(NumericParameter):
 
     def sample(self, rng: np.random.Generator) -> int:
         return int(rng.integers(self.low, self.high + 1))
+
+    def sample_batch(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.integers(self.low, self.high + 1, size=n).astype(float)
 
     def contains(self, value: Any) -> bool:
         try:
@@ -277,6 +298,10 @@ class OrdinalParameter(NumericParameter):
     def sample(self, rng: np.random.Generator) -> Any:
         return self.values[int(rng.integers(len(self.values)))]
 
+    def sample_batch(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        table = np.asarray([float(v) for v in self.values], dtype=float)
+        return table[rng.integers(len(self.values), size=n)]
+
     def contains(self, value: Any) -> bool:
         try:
             return self.canonical(value) in self._index
@@ -327,6 +352,11 @@ class CategoricalParameter(Parameter):
 
     def sample(self, rng: np.random.Generator) -> Any:
         return self.values[int(rng.integers(len(self.values)))]
+
+    def sample_batch(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        table = np.empty(len(self.values), dtype=object)
+        table[:] = self.values
+        return table[rng.integers(len(self.values), size=n)]
 
     def contains(self, value: Any) -> bool:
         return value in self._index
@@ -425,6 +455,10 @@ class PermutationParameter(Parameter):
 
     def sample(self, rng: np.random.Generator) -> tuple[int, ...]:
         return tuple(int(i) for i in rng.permutation(self.n_elements))
+
+    def sample_batch(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        base = np.tile(np.arange(self.n_elements, dtype=float), (n, 1))
+        return rng.permuted(base, axis=1)
 
     def contains(self, value: Any) -> bool:
         try:

@@ -23,9 +23,9 @@ from typing import Any, Callable, Iterable, Mapping, Sequence
 import numpy as np
 
 from .chain_of_trees import ChainOfTrees, FeasibleSetTooLarge, Tree
-from .constraints import Constraint, group_codependent
+from .constraints import Constraint, compile_column_evaluator, group_codependent
 from .encoding import ConfigEncoder
-from .parameters import Parameter
+from .parameters import Parameter, PermutationParameter
 
 __all__ = ["SearchSpace", "Configuration", "freeze_configuration"]
 
@@ -69,6 +69,18 @@ class SearchSpace:
         self._residual_constraints: list[Constraint] = list(self.constraints)
         if build_chain_of_trees and self.constraints:
             self._build_chain_of_trees(max_cot_nodes)
+        #: lazily built vectorized-path caches (compiled constraint closures,
+        #: per-tree encoded leaf matrices).  Kept in one dict so pickling can
+        #: drop them — they are rebuilt on demand after unpickling.
+        self._vector_caches: dict[str, Any] = {}
+
+    def __getstate__(self) -> dict[str, Any]:
+        state = dict(self.__dict__)
+        state["_vector_caches"] = {}
+        # the encoder cached_property is picklable, but compiled closures are
+        # not; `encoder` itself is cheap to rebuild so drop it alongside
+        state.pop("encoder", None)
+        return state
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -195,6 +207,81 @@ class SearchSpace:
         return True
 
     # ------------------------------------------------------------------
+    # vectorized candidate-generation caches
+    # ------------------------------------------------------------------
+    def _covered_names(self) -> set[str]:
+        if self.chain_of_trees is None:
+            return set()
+        return set(self.chain_of_trees.parameter_names)
+
+    @staticmethod
+    def _raw_column(param: Parameter, values: Sequence[Any]) -> np.ndarray:
+        """Raw values as a column: float for numerics, object otherwise."""
+        if isinstance(param, PermutationParameter):
+            column = np.empty(len(values), dtype=object)
+            column[:] = [tuple(v) for v in values]
+            return column
+        first = values[0] if values else None
+        if isinstance(first, (int, float, np.integer, np.floating)) and not isinstance(
+            first, bool
+        ):
+            return np.asarray(values, dtype=float)
+        column = np.empty(len(values), dtype=object)
+        column[:] = list(values)
+        return column
+
+    def _tree_tables(self) -> list[tuple[Any, dict[str, np.ndarray], dict[str, np.ndarray]]]:
+        """Per tree: (tree, raw leaf columns, encoded leaf blocks), cached.
+
+        The leaf matrices turn one feasible draw into a single ``np.take``
+        per parameter instead of a per-level walk with one weighted
+        ``rng.choice`` per tree depth.
+        """
+        tables = self._vector_caches.get("tree_tables")
+        if tables is None:
+            tables = []
+            if self.chain_of_trees is not None:
+                for tree in self.chain_of_trees.trees:
+                    leaves = tree.leaves()
+                    raw = {
+                        param.name: self._raw_column(
+                            param, [leaf[param.name] for leaf in leaves]
+                        )
+                        for param in tree.parameters
+                    }
+                    encoded = {
+                        name: self.encoder.encode_value_column(name, column)
+                        for name, column in raw.items()
+                    }
+                    tables.append((tree, raw, encoded))
+            self._vector_caches["tree_tables"] = tables
+        return tables
+
+    def _compiled(self, which: str) -> list:
+        """Compiled column evaluators for ``"residual"`` or ``"all"`` constraints."""
+        key = f"compiled_{which}"
+        evaluators = self._vector_caches.get(key)
+        if evaluators is None:
+            constraints = (
+                self._residual_constraints if which == "residual" else self.constraints
+            )
+            evaluators = [
+                (constraint, compile_column_evaluator(constraint))
+                for constraint in constraints
+            ]
+            self._vector_caches[key] = evaluators
+        return evaluators
+
+    @staticmethod
+    def _env_column(column: np.ndarray) -> np.ndarray:
+        """Constraint-env view of a column (permutation matrices to tuples)."""
+        if column.ndim == 2:
+            env = np.empty(len(column), dtype=object)
+            env[:] = [tuple(int(v) for v in row) for row in column]
+            return env
+        return column
+
+    # ------------------------------------------------------------------
     # sampling
     # ------------------------------------------------------------------
     def sample(
@@ -206,14 +293,40 @@ class SearchSpace:
     ) -> list[Configuration]:
         """Draw ``n_samples`` feasible configurations.
 
-        Constrained discrete groups are sampled through the Chain-of-Trees
-        (uniform over leaves unless ``biased_cot``); remaining constraints are
-        handled by rejection sampling.
+        Thin dict boundary over :meth:`sample_rows`: the draw itself happens
+        entirely in row space (leaf-matrix CoT draws, batched parameter
+        sampling, compiled residual constraints) and each accepted row is
+        decoded once.  The feasible distribution matches the historical
+        per-configuration scalar loop, which survives as
+        :meth:`sample_reference` (the oracle used by tests and benchmarks);
+        the RNG consumption order is the vectorized scheme's.
+        """
+        rows = self.sample_rows(
+            rng,
+            n_samples,
+            biased_cot=biased_cot,
+            max_rejection_rounds=max_rejection_rounds,
+        )
+        decode = self.encoder.decode
+        return [decode(row) for row in rows]
+
+    def sample_reference(
+        self,
+        rng: np.random.Generator,
+        n_samples: int = 1,
+        biased_cot: bool = False,
+        max_rejection_rounds: int = 10_000,
+    ) -> list[Configuration]:
+        """The historical scalar sampling loop (reference oracle).
+
+        One configuration at a time: per-level Chain-of-Trees walks, one
+        scalar ``Parameter.sample`` call per uncovered parameter, and one
+        Python ``eval`` per residual constraint.  Kept verbatim so the
+        vectorized path has an executable specification to be tested and
+        benchmarked against.
         """
         samples: list[Configuration] = []
-        covered = (
-            set(self.chain_of_trees.parameter_names) if self.chain_of_trees is not None else set()
-        )
+        covered = self._covered_names()
         attempts = 0
         while len(samples) < n_samples:
             attempts += 1
@@ -231,6 +344,99 @@ class SearchSpace:
             if all(c.evaluate(config) for c in self._residual_constraints):
                 samples.append(config)
         return samples
+
+    def sample_rows(
+        self,
+        rng: np.random.Generator,
+        n_samples: int = 1,
+        biased_cot: bool = False,
+        max_rejection_rounds: int = 10_000,
+    ) -> np.ndarray:
+        """Draw ``n_samples`` feasible configurations as encoded rows.
+
+        One vectorized pass per rejection round: every tree contributes a
+        leaf-matrix gather, every unconstrained parameter one batched draw,
+        and the residual constraints are evaluated by their compiled column
+        evaluators.  Returns an ``(n_samples, width)`` float matrix in the
+        shared :class:`~repro.space.encoding.ConfigEncoder` layout.
+        """
+        if n_samples < 0:
+            raise ValueError("n_samples must be non-negative")
+        encoder = self.encoder
+        tree_tables = self._tree_tables()
+        covered = self._covered_names()
+        free_params = [p for p in self.parameters if p.name not in covered]
+        residuals = self._compiled("residual")
+        residual_vars: set[str] = set()
+        for constraint, _ in residuals:
+            residual_vars |= constraint.variables
+
+        collected: list[np.ndarray] = []
+        accepted = 0
+        drawn = 0
+        budget = max_rejection_rounds * max(1, n_samples)
+        while accepted < n_samples:
+            need = n_samples - accepted
+            if drawn >= budget:
+                raise RuntimeError(
+                    "rejection sampling failed to find feasible configurations; "
+                    "the feasible region may be too sparse"
+                )
+            need = min(need, budget - drawn)
+            drawn += need
+            rows = np.empty((need, encoder.width), dtype=float)
+            env: dict[str, np.ndarray] = {}
+            for tree, raw, encoded in tree_tables:
+                indices = tree.sample_leaf_indices(rng, need, biased=biased_cot)
+                for name, block in encoded.items():
+                    rows[:, encoder.columns(name)] = block[indices]
+                for name in raw:
+                    if name in residual_vars:
+                        env[name] = raw[name][indices]
+            for param in free_params:
+                column = param.sample_batch(rng, need)
+                rows[:, encoder.columns(param.name)] = encoder.encode_value_column(
+                    param.name, column
+                )
+                if param.name in residual_vars:
+                    env[param.name] = self._env_column(np.asarray(column))
+            if residuals:
+                mask = np.ones(need, dtype=bool)
+                for _, evaluator in residuals:
+                    mask &= evaluator(env)
+                rows = rows[mask]
+            collected.append(rows)
+            accepted += len(rows)
+        if not collected:
+            return np.empty((0, encoder.width), dtype=float)
+        return np.vstack(collected)[:n_samples]
+
+    def feasible_mask_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Known-constraint feasibility of encoded rows, fully vectorized.
+
+        Row-space equivalent of :meth:`is_feasible`: a row passes when it is
+        a faithful encoding of legal parameter values *and* every known
+        constraint holds on the decoded values.  The Chain-of-Trees needs no
+        separate membership walk here — for full configurations tree
+        membership is exactly the conjunction of the tree's constraints,
+        which the compiled evaluators check directly.
+        """
+        rows = np.asarray(rows, dtype=float)
+        mask = self.encoder.legal_mask(rows)
+        evaluators = self._compiled("all")
+        if evaluators and mask.any():
+            constrained: set[str] = set()
+            for constraint, _ in evaluators:
+                constrained |= constraint.variables
+            env = {
+                name: self._env_column(column)
+                for name, column in self.encoder.value_columns(
+                    rows, names=constrained
+                ).items()
+            }
+            for _, evaluator in evaluators:
+                mask &= evaluator(env)
+        return mask
 
     def sample_one(self, rng: np.random.Generator, biased_cot: bool = False) -> Configuration:
         return self.sample(rng, 1, biased_cot=biased_cot)[0]
@@ -274,6 +480,87 @@ class SearchSpace:
                 if not feasible_only or self.is_feasible(neighbour):
                     result.append(neighbour)
         return result
+
+    def neighbour_rows_batch(
+        self, rows: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Feasible one-parameter-change neighbourhoods of several rows at once.
+
+        Returns ``(neighbour_rows, owners)`` where ``owners[j]`` is the index
+        of the input row that neighbour ``j`` belongs to; within one owner the
+        neighbours keep the parameter-major order of :meth:`neighbours`.  The
+        candidate *values* come from the same sources as the dict path
+        (Chain-of-Trees conditional values for covered parameters,
+        ``Parameter.neighbours`` otherwise), but materialization is one
+        matrix build and feasibility is one compiled-residual mask instead of
+        a full ``is_feasible`` walk per neighbour.
+        """
+        rows = np.asarray(rows, dtype=float)
+        encoder = self.encoder
+        value_cols = encoder.value_columns(rows)
+        cot = self.chain_of_trees
+        residuals = self._compiled("residual")
+        residual_vars: set[str] = set()
+        for constraint, _ in residuals:
+            residual_vars |= constraint.variables
+
+        blocks: list[np.ndarray] = []
+        owners: list[int] = []
+        changed_names: list[str] = []
+        changed_values: list[Any] = []
+        for i in range(len(rows)):
+            config: Configuration | None = None
+            for param in self.parameters:
+                current = value_cols[param.name][i]
+                if cot is not None and cot.covers(param.name):
+                    if config is None:
+                        config = {
+                            name: value_cols[name][i] for name in self.parameter_names
+                        }
+                    candidates = [
+                        v
+                        for v in cot.feasible_values(param.name, config)
+                        if v != param.canonical(current)
+                    ]
+                else:
+                    # the contains() filter mirrors the dict path, where
+                    # is_feasible drops e.g. a real neighbour whose
+                    # exp(warp(high)) clamp overshot the raw bound by one ulp
+                    candidates = [
+                        v for v in param.neighbours(current) if param.contains(v)
+                    ]
+                if not candidates:
+                    continue
+                block = np.tile(rows[i], (len(candidates), 1))
+                block[:, encoder.columns(param.name)] = encoder.encode_value_column(
+                    param.name, self._raw_column(param, candidates)
+                )
+                blocks.append(block)
+                owners.extend([i] * len(candidates))
+                changed_names.extend([param.name] * len(candidates))
+                changed_values.extend(candidates)
+        if not blocks:
+            return np.empty((0, encoder.width), dtype=float), np.empty(0, dtype=int)
+        batch = np.vstack(blocks)
+        owner_idx = np.asarray(owners, dtype=int)
+
+        if residuals:
+            changed = np.asarray(changed_names, dtype=object)
+            env: dict[str, np.ndarray] = {}
+            for name in residual_vars:
+                column = self._env_column(value_cols[name])[owner_idx]
+                replace = changed == name
+                if replace.any():
+                    column = column.copy()
+                    for j in np.nonzero(replace)[0]:
+                        column[j] = changed_values[j]
+                env[name] = column
+            mask = np.ones(len(batch), dtype=bool)
+            for _, evaluator in residuals:
+                mask &= evaluator(env)
+            batch = batch[mask]
+            owner_idx = owner_idx[mask]
+        return batch, owner_idx
 
     # ------------------------------------------------------------------
     # encodings

@@ -132,6 +132,23 @@ class TestSessionProtocol:
         # the dedup loop has 32 tries per slot over a ~100-point space
         assert len(keys) >= 11
 
+    def test_batch_ask_before_any_tell_exceeding_doe(self, small_space):
+        """Regression: ask(n) straight after start, with n beyond the DoE.
+
+        BaCO's learning-phase recommender runs with an empty history here
+        (nothing told back yet) and must fall through to random proposals
+        instead of fitting the feasibility model on zero rows.
+        """
+        from repro.core.baco import BacoTuner
+
+        session = BacoTuner(small_space, seed=0).start_session(3)
+        suggestions = session.ask(3)
+        assert len(suggestions) == 3
+        keys = {small_space.freeze(s.configuration) for s in suggestions}
+        assert len(keys) == 3
+        for suggestion in suggestions:
+            assert small_space.is_feasible(suggestion.configuration)
+
     def test_out_of_order_tells_are_accepted(self, small_space, quadratic_objective):
         session = _make_tuner("uniform", small_space, 5).start_session(6)
         suggestions = session.ask(4)

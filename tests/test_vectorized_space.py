@@ -1,0 +1,433 @@
+"""Tests for the vectorized feasibility & candidate-generation engine.
+
+Guards for the three layers introduced by the row-space refactor:
+
+* **Compiled constraints** — every expression constraint compiles to a numpy
+  column evaluator that must agree with the scalar ``evaluate`` oracle on all
+  full configurations (plus the applicability edge cases around missing
+  variables, and the frozen eval namespace of the scalar path);
+* **Chain-of-Trees leaf caches** — the materialized leaf list and the
+  vectorized leaf-index samplers are cached once and stay consistent with
+  the recursive reference walks (trees are immutable after build);
+* **Row-space search-space API** — ``sample_rows`` / ``feasible_mask_rows`` /
+  ``neighbour_rows_batch`` agree with the scalar dict paths, pinned both on
+  hand-built spaces and on hypothesis-randomized R/I/O/C/P spaces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.space import (
+    CategoricalParameter,
+    Constraint,
+    IntegerParameter,
+    OrdinalParameter,
+    PermutationParameter,
+    RealParameter,
+    SearchSpace,
+)
+from repro.space.constraints import _SCALAR_GLOBALS, compile_column_evaluator
+
+
+def _mixed_params():
+    return [
+        OrdinalParameter("p1", [2, 4, 8, 16, 32], transform="log"),
+        OrdinalParameter("p2", [2, 4, 8, 16], transform="log"),
+        IntegerParameter("w", 1, 12),
+        RealParameter("alpha", 0.1, 10.0, transform="log"),
+        CategoricalParameter("sched", ["static", "dynamic", "guided"]),
+        PermutationParameter("order", 3),
+    ]
+
+
+def _mixed_space() -> SearchSpace:
+    return SearchSpace(
+        _mixed_params(),
+        [
+            Constraint("p1 >= p2"),
+            Constraint("p1 % p2 == 0"),
+            Constraint("w <= 8 or alpha >= 1.0"),
+        ],
+    )
+
+
+def _dense_random_configs(params, n, seed):
+    rng = np.random.default_rng(seed)
+    return [{p.name: p.sample(rng) for p in params} for _ in range(n)]
+
+
+# ---------------------------------------------------------------------------
+# compiled constraints vs the scalar oracle
+# ---------------------------------------------------------------------------
+
+class TestCompiledConstraints:
+    EXPRESSIONS = [
+        "a >= b",
+        "a % b == 0",
+        "a * b <= 1024",
+        "log2(a) >= 2",
+        "sqrt(a) < b",
+        "min(a, b) >= 2 and max(a, b) <= 512",
+        "a in (2, 4, 8)",
+        "b not in (3, 5)",
+        "not (a < b)",
+        "a - b > -100 and (a + b) % 2 == 0",
+        "a // b >= 1 or b // a >= 1",
+        "(a if a > b else b) >= 4",
+        "2 <= a <= 512",
+        "abs(a - b) <= 1000",
+        "pow(a, 2) >= b",
+        "floor(a / b) == a // b",
+        "ceil(a / b) >= a // b",
+    ]
+
+    @pytest.mark.parametrize("expression", EXPRESSIONS)
+    def test_agrees_with_scalar_oracle(self, expression):
+        constraint = Constraint(expression)
+        rng = np.random.default_rng(7)
+        a = rng.integers(1, 513, size=200).astype(float)
+        b = rng.integers(1, 513, size=200).astype(float)
+        compiled = constraint.compile_columns()
+        got = compiled({"a": a, "b": b})
+        want = [
+            constraint.evaluate({"a": int(x), "b": int(y)}) for x, y in zip(a, b)
+        ]
+        assert got.dtype == bool
+        assert got.tolist() == want
+
+    def test_string_and_membership_columns(self):
+        constraint = Constraint("mode in ('fast', 'exact') and tile >= 8")
+        modes = np.empty(4, dtype=object)
+        modes[:] = ["fast", "slow", "exact", "exact"]
+        tiles = np.asarray([8.0, 8.0, 4.0, 16.0])
+        got = constraint.compile_columns()({"mode": modes, "tile": tiles})
+        want = [
+            constraint.evaluate({"mode": m, "tile": int(t)})
+            for m, t in zip(modes, tiles)
+        ]
+        assert got.tolist() == want
+
+    def test_permutation_tuple_columns(self):
+        constraint = Constraint("perm == (0, 1, 2) or perm[0] == 2")
+        perms = np.empty(4, dtype=object)
+        perms[:] = [(0, 1, 2), (2, 1, 0), (1, 0, 2), (2, 0, 1)]
+        got = constraint.compile_columns()({"perm": perms})
+        want = [constraint.evaluate({"perm": p}) for p in perms]
+        assert got.tolist() == want
+
+    def test_callable_constraints_fall_back_to_scalar(self):
+        constraint = Constraint.from_callable(
+            lambda cfg: cfg["x"] * cfg["y"] <= 6, ["x", "y"]
+        )
+        assert constraint.compile_columns() is None
+        evaluator = compile_column_evaluator(constraint)
+        x = np.asarray([1.0, 2.0, 3.0])
+        y = np.asarray([2.0, 3.0, 4.0])
+        assert evaluator({"x": x, "y": y}).tolist() == [True, True, False]
+
+    def test_compiled_evaluator_is_cached(self):
+        constraint = Constraint("a >= b")
+        assert constraint.compile_columns() is constraint.compile_columns()
+
+    # -- applicability edge cases ---------------------------------------
+
+    def test_missing_variable_raises_keyerror_in_both_paths(self):
+        constraint = Constraint("a >= b")
+        with pytest.raises(KeyError):
+            constraint.evaluate({"a": 1})
+        with pytest.raises(KeyError):
+            constraint.compile_columns()({"a": np.asarray([1.0])})
+
+    def test_is_applicable_tracks_missing_variables(self):
+        constraint = Constraint("a >= b")
+        assert not constraint.is_applicable({"a": 1})
+        assert constraint.is_applicable({"a": 1, "b": 2})
+        # extra variables are fine in both paths
+        assert constraint.evaluate({"a": 2, "b": 1, "c": 99})
+        mask = constraint.compile_columns()(
+            {"a": np.asarray([2.0]), "b": np.asarray([1.0]), "c": np.asarray([99.0])}
+        )
+        assert mask.tolist() == [True]
+
+    def test_scalar_namespace_is_frozen_and_not_rebuilt(self):
+        snapshot = dict(_SCALAR_GLOBALS)
+        constraint = Constraint("a >= b")
+        assert constraint.evaluate({"a": 2, "b": 1})
+        assert not constraint.evaluate({"a": 1, "b": 2})
+        # evaluate must not leak configuration variables into the shared dict
+        assert dict(_SCALAR_GLOBALS) == snapshot
+        assert "a" not in _SCALAR_GLOBALS and "__builtins__" in _SCALAR_GLOBALS
+
+
+# ---------------------------------------------------------------------------
+# Chain-of-Trees leaf caches
+# ---------------------------------------------------------------------------
+
+class TestLeafCaches:
+    def _tree(self):
+        from repro.space.chain_of_trees import Tree
+
+        return Tree(
+            [OrdinalParameter("a", [1, 2]), OrdinalParameter("b", [1, 2, 3, 4])],
+            [Constraint("b >= a * a")],
+        )
+
+    def test_leaves_materialized_once(self, monkeypatch):
+        tree = self._tree()
+        calls = {"n": 0}
+        original = type(tree)._materialize_leaves
+
+        def counting(self):
+            calls["n"] += 1
+            original(self)
+
+        monkeypatch.setattr(type(tree), "_materialize_leaves", counting)
+        first = tree.leaves()
+        for _ in range(5):
+            assert tree.leaves() is first
+            list(tree.iter_leaves())
+            tree.sample_leaf_indices(np.random.default_rng(0), 3)
+        assert calls["n"] == 1
+
+    def test_cache_matches_recursive_walk_and_counts(self):
+        tree = self._tree()
+        leaves = tree.leaves()
+        assert len(leaves) == tree.n_feasible
+        keys = {tuple(sorted(leaf.items())) for leaf in leaves}
+        assert len(keys) == len(leaves)
+        for leaf in leaves:
+            assert leaf["b"] >= leaf["a"] * leaf["a"]
+        # iter_leaves yields copies: mutating them must not corrupt the cache
+        for leaf in tree.iter_leaves():
+            leaf["a"] = -1
+        assert tree.leaves() is leaves
+        assert all(leaf["a"] in (1, 2) for leaf in leaves)
+
+    def test_uniform_indices_cover_all_leaves(self):
+        tree = self._tree()
+        rng = np.random.default_rng(3)
+        indices = tree.sample_leaf_indices(rng, 2000)
+        counts = np.bincount(indices, minlength=tree.n_feasible)
+        assert (counts > 0).all()
+        assert abs(counts.max() / counts.min() - 1.0) < 0.5
+
+    def test_biased_indices_match_sample_path_distribution(self):
+        tree = self._tree()
+        rng = np.random.default_rng(4)
+        n = 4000
+        indices = tree.sample_leaf_indices(rng, n, biased=True)
+        leaves = tree.leaves()
+        hits = sum(1 for i in indices if leaves[i]["a"] == 2)
+        # a=2 admits a single leaf reached with per-level probability 1/2
+        assert abs(hits / n - 0.5) < 0.05
+
+
+# ---------------------------------------------------------------------------
+# row-space SearchSpace API
+# ---------------------------------------------------------------------------
+
+class TestRowSpaceAPI:
+    def test_encode_columns_bit_identical_to_encode_batch(self):
+        params = _mixed_params()
+        space = SearchSpace(params)
+        rng = np.random.default_rng(9)
+        columns = {p.name: p.sample_batch(rng, 100) for p in params}
+        rows = space.encoder.encode_columns(columns)
+        configs = [
+            {
+                p.name: (
+                    tuple(int(v) for v in columns[p.name][i])
+                    if isinstance(p, PermutationParameter)
+                    else p.canonical(columns[p.name][i])
+                    if hasattr(p, "canonical") and not isinstance(p, RealParameter)
+                    else columns[p.name][i]
+                )
+                for p in params
+            }
+            for i in range(100)
+        ]
+        assert np.array_equal(rows, space.encode_batch(configs))
+
+    def test_encode_columns_rejects_ragged_input(self):
+        space = SearchSpace(_mixed_params())
+        rng = np.random.default_rng(9)
+        columns = {p.name: p.sample_batch(rng, 4) for p in space.parameters}
+        columns["w"] = columns["w"][:3]
+        with pytest.raises(ValueError):
+            space.encoder.encode_columns(columns)
+
+    def test_evaluate_rows_supports_duck_typed_feasibility_models(self):
+        """Regression: models without an ``encoder`` attribute (the dict-only
+        surface ``__call__`` already supports) must work in row space too."""
+        from repro.core.acquisition import AcquisitionFunction
+
+        space = SearchSpace(_mixed_params())
+        rng = np.random.default_rng(4)
+
+        class StubModel:
+            def to_model_scale(self, value):
+                return value
+
+            def predict(self, configs, include_noise=False):
+                n = len(configs)
+                return np.zeros(n), np.ones(n)
+
+        class StubFeasibility:
+            is_trained = True
+
+            def predict_probability(self, configs):
+                return np.full(len(configs), 0.5)
+
+        acquisition = AcquisitionFunction(
+            StubModel(), best_value=1.0, feasibility_model=StubFeasibility()
+        )
+        rows = space.sample_rows(rng, 5)
+        values = acquisition.evaluate_rows(rows, space.encoder)
+        assert values.shape == (5,)
+        assert np.array_equal(
+            values, acquisition([space.encoder.decode(r) for r in rows])
+        )
+
+    def test_sample_rows_are_feasible_and_decodable(self):
+        space = _mixed_space()
+        rng = np.random.default_rng(0)
+        rows = space.sample_rows(rng, 200)
+        assert rows.shape == (200, space.encoder.width)
+        assert space.feasible_mask_rows(rows).all()
+        for row in rows:
+            assert space.is_feasible(space.encoder.decode(row))
+
+    def test_feasible_mask_matches_is_feasible_on_dense_draws(self):
+        space = _mixed_space()
+        configs = _dense_random_configs(space.parameters, 300, seed=5)
+        mask = space.feasible_mask_rows(space.encode_batch(configs))
+        want = np.asarray([space.is_feasible(c) for c in configs])
+        assert want.any() and not want.all()  # the draw must exercise both sides
+        assert np.array_equal(mask, want)
+
+    def test_feasible_mask_rejects_corrupt_rows(self):
+        space = _mixed_space()
+        rows = space.sample_rows(np.random.default_rng(1), 4)
+        rows[0, space.encoder.columns("p1").start] = 1.234  # not a legal warp
+        rows[1, space.encoder.columns("sched").start] = 9.0  # out-of-range index
+        rows[2, space.encoder.columns("order")] = [0.0, 0.0, 2.0]  # not a perm
+        mask = space.feasible_mask_rows(rows)
+        assert mask.tolist() == [False, False, False, True]
+
+    def test_sample_matches_reference_distribution(self):
+        space = SearchSpace(
+            [
+                OrdinalParameter("p1", [2, 4, 8]),
+                OrdinalParameter("p2", [2, 4, 8]),
+                CategoricalParameter("c", ["x", "y"]),
+            ],
+            [Constraint("p1 >= p2")],
+        )
+        rng_rows = np.random.default_rng(11)
+        rng_ref = np.random.default_rng(12)
+        n = 6000
+        vector_counts: dict[tuple, int] = {}
+        for config in space.sample(rng_rows, n):
+            key = space.freeze(config)
+            vector_counts[key] = vector_counts.get(key, 0) + 1
+        reference_counts: dict[tuple, int] = {}
+        for config in space.sample_reference(rng_ref, n):
+            key = space.freeze(config)
+            reference_counts[key] = reference_counts.get(key, 0) + 1
+        assert set(vector_counts) == set(reference_counts)
+        for key, count in vector_counts.items():
+            assert abs(count - reference_counts[key]) < 0.35 * (n / len(vector_counts))
+
+    def test_sample_reference_remains_the_scalar_oracle(self):
+        space = _mixed_space()
+        rng = np.random.default_rng(2)
+        for config in space.sample_reference(rng, 25):
+            assert space.is_feasible(config)
+
+    def test_neighbour_rows_match_dict_neighbours(self):
+        space = _mixed_space()
+        rng = np.random.default_rng(3)
+        rows = space.sample_rows(rng, 8)
+        batch, owners = space.neighbour_rows_batch(rows)
+        assert space.feasible_mask_rows(batch).all()
+        decode = space.encoder.decode
+        for i, row in enumerate(rows):
+            config = decode(row)
+            want = sorted(
+                space.freeze(n) for n in space.neighbours(config, feasible_only=True)
+            )
+            got = sorted(space.freeze(decode(r)) for r in batch[owners == i])
+            assert len(got) == len(want)
+            # real-valued entries can drift one ulp through the row round
+            # trip; every discrete coordinate must match exactly
+            for got_key, want_key in zip(got, want):
+                for g, w, param in zip(got_key, want_key, space.parameters):
+                    if isinstance(param, RealParameter):
+                        assert g == pytest.approx(w, rel=1e-12)
+                    else:
+                        assert g == w
+
+
+# ---------------------------------------------------------------------------
+# property-based equivalence on randomized R/I/O/C/P spaces
+# ---------------------------------------------------------------------------
+
+_ordinal_values = st.lists(
+    st.integers(min_value=1, max_value=64), min_size=2, max_size=5, unique=True
+)
+
+
+@st.composite
+def riocp_spaces(draw):
+    """Random spaces covering all five parameter types with real constraints."""
+    parameters = [
+        RealParameter("r", 0.5, 4.0),
+        IntegerParameter("i", 1, draw(st.integers(3, 10))),
+        OrdinalParameter("o", draw(_ordinal_values)),
+        CategoricalParameter("c", ["x", "y", "z"][: draw(st.integers(2, 3))]),
+        PermutationParameter("p", draw(st.integers(2, 3))),
+    ]
+    constraints = []
+    expression_pool = [
+        "o >= i",
+        "o % 2 == 0 or i <= 3",
+        "i * o <= 64",
+        "r >= 1.0 or o <= 32",
+    ]
+    for expression in expression_pool:
+        if draw(st.booleans()):
+            constraints.append(Constraint(expression))
+    space = SearchSpace(parameters, constraints)
+    # keep only satisfiable spaces: a feasible witness must exist
+    try:
+        space.sample_reference(np.random.default_rng(0), 1, max_rejection_rounds=200)
+    except RuntimeError:
+        return SearchSpace(parameters, [])
+    return space
+
+
+@given(riocp_spaces(), st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=25, deadline=None)
+def test_row_mask_equals_scalar_feasibility(space, seed):
+    """Property: feasible_mask_rows(encode_batch(cfgs)) == scalar is_feasible."""
+    configs = _dense_random_configs(space.parameters, 40, seed)
+    mask = space.feasible_mask_rows(space.encode_batch(configs))
+    want = np.asarray([space.is_feasible(c) for c in configs])
+    assert np.array_equal(mask, want)
+
+
+@given(riocp_spaces(), st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=25, deadline=None)
+def test_sample_rows_decode_to_feasible_configurations(space, seed):
+    """Property: every sampled row decodes to a configuration the space accepts."""
+    rng = np.random.default_rng(seed)
+    rows = space.sample_rows(rng, 8)
+    assert space.feasible_mask_rows(rows).all()
+    for row in rows:
+        config = space.encoder.decode(row)
+        assert space.is_feasible(config)
+        assert np.array_equal(space.encode(config), row)
