@@ -17,9 +17,12 @@ Two subcommands drive single ask/tell tuning sessions
   evaluation (``--eval-workers``), periodic checkpointing
   (``--checkpoint``), and crash-safe resume (``--resume``); ``--stop-after``
   deliberately interrupts the run after N evaluations,
-* ``serve`` — a long-running tuning service speaking JSON lines on
-  stdin/stdout (see :mod:`repro.service`), for workloads where an external
-  system evaluates the proposed configurations.
+* ``serve`` — a long-running tuning service speaking JSON lines (see
+  :mod:`repro.service`), for workloads where external systems evaluate the
+  proposed configurations.  By default it serves one connection on
+  stdin/stdout; with ``--tcp PORT`` it becomes a concurrent multi-session
+  TCP server (:mod:`repro.server`) with named sessions, LRU eviction, and
+  crash-safe autosave/resume via ``--sessions-dir``.
 
 A further subcommand, ``bench``, runs the tuner hot-path microbenchmarks
 (legacy dict path vs. the vectorized encoding layer) and writes
@@ -36,6 +39,8 @@ Examples::
         --budget 20 --seed 0 --checkpoint /tmp/bfs.ckpt.json --eval-workers 4
     PYTHONPATH=src python -m repro tune --resume --checkpoint /tmp/bfs.ckpt.json
     PYTHONPATH=src python -m repro serve
+    PYTHONPATH=src python -m repro serve --tcp 7730 --sessions-dir runs/ \\
+        --max-sessions 16
     PYTHONPATH=src python -m repro bench --quick
 
 Environment variables (``REPRO_*``, see :mod:`repro.experiments.config`)
@@ -316,9 +321,35 @@ def _cmd_tune(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from .service import serve
+    from .service import SessionRegistry, serve
 
-    return serve(sys.stdin, sys.stdout)
+    registry = SessionRegistry(
+        sessions_dir=args.sessions_dir, max_sessions=args.max_sessions
+    )
+    if args.tcp is None:
+        # degenerate single-connection case: same registry, stdin/stdout framing
+        return serve(sys.stdin, sys.stdout, registry)
+
+    import signal
+
+    from .server import TuningServer
+
+    server = TuningServer(registry, host=args.host, port=args.tcp)
+    where = f"{server.server_address[0]}:{server.port}"
+    extras = [f"max {args.max_sessions} sessions"]
+    if args.sessions_dir is not None:
+        extras.append(f"autosave to {args.sessions_dir}")
+    print(f"serving on {where} ({', '.join(extras)})", flush=True)
+
+    def _graceful(signum, frame):  # SIGTERM drains through the autosave path
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _graceful)
+    try:
+        server.serve_until_shutdown()
+    except KeyboardInterrupt:
+        pass  # serve_until_shutdown's finally already drained and autosaved
+    return 0
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -459,7 +490,26 @@ def main(argv: list[str] | None = None) -> int:
     tune_parser.set_defaults(handler=_cmd_tune)
 
     serve_parser = subparsers.add_parser(
-        "serve", help="serve ask/tell sessions over JSON lines on stdin/stdout"
+        "serve",
+        help="serve ask/tell tuning sessions over JSON lines "
+             "(stdin/stdout by default, TCP with --tcp)",
+    )
+    serve_parser.add_argument(
+        "--tcp", type=int, default=None, metavar="PORT",
+        help="listen on this TCP port instead of stdin/stdout (0 = ephemeral)",
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address for --tcp (default: 127.0.0.1)",
+    )
+    serve_parser.add_argument(
+        "--sessions-dir", type=Path, default=None,
+        help="autosave directory: evicted sessions are checkpointed here and "
+             "transparently reloaded; shutdown saves every dirty session",
+    )
+    serve_parser.add_argument(
+        "--max-sessions", type=int, default=8,
+        help="sessions kept in memory before LRU eviction (default: 8)",
     )
     serve_parser.set_defaults(handler=_cmd_serve)
 

@@ -37,10 +37,24 @@ completed trace is bit-identical to an uninterrupted one.
 JSON notes: Python's ``json`` round-trips ``float`` values exactly (``repr``
 emits the shortest representation that parses back to the same double), so
 snapshots preserve bit-identical behaviour across processes.
+
+Thread safety
+-------------
+
+A session is mutated from one logical caller at a time, but the tuning
+*server* (:mod:`repro.server`) drives many sessions from a pool of
+connection threads.  Every state transition — :meth:`ask`, :meth:`tell`,
+:meth:`snapshot` — therefore runs under a per-session re-entrant lock, so a
+snapshot never observes a half-applied tell and two racing asks cannot issue
+the same suggestion id.  Distinct sessions never share mutable state (each
+tuner owns its RNG and caches; the search space they share is read-only with
+idempotent lazily-built caches), so cross-session concurrency needs no
+further coordination and cannot perturb a session's trace.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass
@@ -164,6 +178,9 @@ class TuningSession:
         self.tuner = tuner
         self.budget = int(budget)
         self.benchmark_name = benchmark_name
+        #: guards every state transition (ask/tell/snapshot); re-entrant so
+        #: the multi-session server can reuse it as the per-session op lock
+        self._lock = threading.RLock()
         #: free-form caller metadata carried through snapshots (e.g. the
         #: experiment layer records the fidelity the tuner was built with)
         self.meta: dict[str, Any] = {}
@@ -195,7 +212,8 @@ class TuningSession:
     @property
     def pending(self) -> tuple[Suggestion, ...]:
         """Issued-but-untold suggestions, in suggestion-id order."""
-        issued = list(self._pending.values()) + list(self._reissue)
+        with self._lock:
+            issued = list(self._pending.values()) + list(self._reissue)
         return tuple(sorted(issued, key=lambda s: s.id))
 
     # ------------------------------------------------------------------
@@ -209,36 +227,37 @@ class TuningSession:
         """
         if n < 1:
             raise ValueError("ask() needs n >= 1")
-        capacity = self.budget - len(self.history) - len(self._pending) - len(self._reissue)
-        # re-issue restored in-flight suggestions first
-        out: list[Suggestion] = []
-        while self._reissue and len(out) < n:
-            suggestion = self._reissue.popleft()
-            self._pending[suggestion.id] = suggestion
-            out.append(suggestion)
-        need = min(n - len(out), max(0, capacity))
-        if need > 0:
-            pending_keys = {
-                self.tuner.space.freeze(s.configuration) for s in self._pending.values()
-            }
-            proposals = self.tuner._propose(need, pending_keys)
-            if len(proposals) != need:
-                raise RuntimeError(
-                    f"{type(self.tuner).__name__}._propose returned "
-                    f"{len(proposals)} proposals instead of {need}"
-                )
-            encoder = self.tuner.space.encoder
-            for configuration, phase in proposals:
-                suggestion = Suggestion(
-                    id=self._next_id,
-                    configuration=dict(configuration),
-                    phase=phase,
-                    encoded_row=tuple(float(x) for x in encoder.encode(configuration)),
-                )
-                self._next_id += 1
+        with self._lock:
+            capacity = self.budget - len(self.history) - len(self._pending) - len(self._reissue)
+            # re-issue restored in-flight suggestions first
+            out: list[Suggestion] = []
+            while self._reissue and len(out) < n:
+                suggestion = self._reissue.popleft()
                 self._pending[suggestion.id] = suggestion
                 out.append(suggestion)
-        return out
+            need = min(n - len(out), max(0, capacity))
+            if need > 0:
+                pending_keys = {
+                    self.tuner.space.freeze(s.configuration) for s in self._pending.values()
+                }
+                proposals = self.tuner._propose(need, pending_keys)
+                if len(proposals) != need:
+                    raise RuntimeError(
+                        f"{type(self.tuner).__name__}._propose returned "
+                        f"{len(proposals)} proposals instead of {need}"
+                    )
+                encoder = self.tuner.space.encoder
+                for configuration, phase in proposals:
+                    suggestion = Suggestion(
+                        id=self._next_id,
+                        configuration=dict(configuration),
+                        phase=phase,
+                        encoded_row=tuple(float(x) for x in encoder.encode(configuration)),
+                    )
+                    self._next_id += 1
+                    self._pending[suggestion.id] = suggestion
+                    out.append(suggestion)
+            return out
 
     def tell(
         self,
@@ -254,43 +273,51 @@ class TuningSession:
         Returns the appended :class:`~repro.core.result.Evaluation`.
         """
         suggestion_id = suggestion.id if isinstance(suggestion, Suggestion) else int(suggestion)
-        issued = self._pending.pop(suggestion_id, None)
-        if issued is None:
-            raise KeyError(
-                f"suggestion id {suggestion_id} is unknown, already told, "
-                "or was never issued by ask()"
-            )
-        if not isinstance(result, ObjectiveResult):
-            raise TypeError("tell() expects an ObjectiveResult")
-        evaluation = self.history.append(issued.configuration, result, phase=issued.phase)
-        self.history.evaluation_seconds += max(0.0, float(elapsed))
-        self.tuner._record_observation(issued.configuration, result)
-        return evaluation
+        with self._lock:
+            issued = self._pending.pop(suggestion_id, None)
+            if issued is None:
+                raise KeyError(
+                    f"suggestion id {suggestion_id} is unknown, already told, "
+                    "or was never issued by ask()"
+                )
+            if not isinstance(result, ObjectiveResult):
+                self._pending[suggestion_id] = issued  # reject without losing it
+                raise TypeError("tell() expects an ObjectiveResult")
+            evaluation = self.history.append(issued.configuration, result, phase=issued.phase)
+            self.history.evaluation_seconds += max(0.0, float(elapsed))
+            self.tuner._record_observation(issued.configuration, result)
+            return evaluation
 
     # ------------------------------------------------------------------
     # checkpoint / resume
     # ------------------------------------------------------------------
 
     def snapshot(self) -> dict[str, Any]:
-        """The complete session state as a JSON-serializable dict."""
-        return {
-            "version": SNAPSHOT_VERSION,
-            "session": {
-                "budget": self.budget,
-                "benchmark_name": self.benchmark_name,
-                "next_suggestion_id": self._next_id,
-            },
-            "meta": dict(self.meta),
-            "tuner": {
-                "name": self.tuner.name,
-                "class": type(self.tuner).__name__,
-                "seed": self.tuner.seed,
-            },
-            "rng": _rng_state_to_json(self.tuner._rng),
-            "history": self.history.to_dict(),
-            "pending": [s.to_dict() for s in self.pending],
-            "tuner_state": self.tuner._state_dict(),
-        }
+        """The complete session state as a JSON-serializable dict.
+
+        Taken under the session lock, so a concurrent ``tell`` can never
+        leave the snapshot with a history/RNG/pending combination that no
+        serial execution would produce.
+        """
+        with self._lock:
+            return {
+                "version": SNAPSHOT_VERSION,
+                "session": {
+                    "budget": self.budget,
+                    "benchmark_name": self.benchmark_name,
+                    "next_suggestion_id": self._next_id,
+                },
+                "meta": dict(self.meta),
+                "tuner": {
+                    "name": self.tuner.name,
+                    "class": type(self.tuner).__name__,
+                    "seed": self.tuner.seed,
+                },
+                "rng": _rng_state_to_json(self.tuner._rng),
+                "history": self.history.to_dict(),
+                "pending": [s.to_dict() for s in self.pending],
+                "tuner_state": self.tuner._state_dict(),
+            }
 
     @classmethod
     def restore(cls, payload: Mapping[str, Any], tuner: "Tuner") -> "TuningSession":

@@ -41,6 +41,7 @@ __all__ = [
     "make_session",
     "drive_parallel",
     "load_session",
+    "restore_session",
     "save_session",
     "run_single",
     "run_benchmark",
@@ -331,34 +332,58 @@ def save_session(session: TuningSession, path: Path | str, fidelity: str | None 
     payload = session.snapshot()
     path.parent.mkdir(parents=True, exist_ok=True)
     tmp = path.with_suffix(path.suffix + ".tmp")
-    tmp.write_text(json.dumps(payload))
+    with open(tmp, "w") as handle:
+        handle.write(json.dumps(payload))
+        handle.flush()
+        os.fsync(handle.fileno())  # survive a hard kill right after the rename
     os.replace(tmp, path)
     return path
 
 
-def load_session(path: Path | str) -> tuple[TuningSession, Benchmark]:
-    """Rebuild a live session (and its benchmark) from a checkpoint file.
+def restore_session(payload: Mapping[str, Any]) -> tuple[TuningSession, Benchmark]:
+    """Rebuild a live session (and its benchmark) from a snapshot payload.
 
     The benchmark is re-resolved by name through the workload registry and a
-    fresh tuner is constructed with the checkpointed variant name, seed, and
-    fidelity before :meth:`TuningSession.restore` replays the state.
+    fresh tuner is constructed with the snapshotted variant name, seed, and
+    fidelity before :meth:`TuningSession.restore` replays the state.  Shared
+    by :func:`load_session` (checkpoint files) and the tuning service's
+    inline-payload ``restore`` op.
     """
-    payload = json.loads(Path(path).read_text())
-    meta = payload["session"]
+    meta = payload.get("session")
+    if not isinstance(meta, Mapping):
+        raise ValueError("snapshot payload has no 'session' section")
     benchmark_name = meta.get("benchmark_name", "")
     if not benchmark_name:
         raise ValueError(
-            f"checkpoint {path} does not name a registry benchmark; "
+            "snapshot does not name a registry benchmark; "
             "restore it manually via TuningSession.restore()"
         )
     benchmark = get_benchmark(benchmark_name)
+    tuner_meta = payload.get("tuner")
+    if not isinstance(tuner_meta, Mapping) or "name" not in tuner_meta:
+        raise ValueError("snapshot payload has no 'tuner' section")
+    if "seed" not in tuner_meta:
+        # without the recorded seed the rebuilt tuner would be entropy-seeded
+        # and the restored run would silently lose its determinism metadata
+        raise ValueError("snapshot payload has no tuner seed")
     tuner = make_tuner(
-        payload["tuner"]["name"],
+        tuner_meta["name"],
         benchmark.space,
-        payload["tuner"]["seed"],
+        tuner_meta["seed"],
         fidelity=payload.get("meta", {}).get("fidelity", "fast"),
     )
     return TuningSession.restore(payload, tuner), benchmark
+
+
+def load_session(path: Path | str) -> tuple[TuningSession, Benchmark]:
+    """Rebuild a live session (and its benchmark) from a checkpoint file."""
+    payload = json.loads(Path(path).read_text())
+    if not isinstance(payload, Mapping):
+        raise ValueError(f"checkpoint {path} is not a JSON object")
+    try:
+        return restore_session(payload)
+    except ValueError as exc:
+        raise ValueError(f"checkpoint {path}: {exc}") from None
 
 
 def run_benchmark(

@@ -1,0 +1,147 @@
+"""Threaded TCP framing for the multi-session tuning service.
+
+:class:`TuningServer` lifts the JSON-lines protocol of
+:class:`repro.service.SessionRegistry` onto a ``ThreadingTCPServer``: each
+client connection gets its own handler thread, reads one request per line,
+and receives one strict-JSON response per line.  All connections share one
+registry, so many evaluation harnesses can drive distinct *named* sessions
+concurrently — per-session locks serialize requests that target the same
+session while requests for different sessions proceed in parallel.
+
+Protocol semantics (ops, session routing, autosave, wire encoding) live
+entirely in the registry; this module only does framing and lifecycle:
+
+* a ``shutdown`` request autosaves every dirty session, answers the client,
+  and then stops the whole server (every connection is closed);
+* a client disconnect (EOF) ends only that connection — its sessions stay
+  live in the registry for the next client, which is what makes kill/resume
+  workflows work: reconnect and keep asking;
+* an oversized frame (> ``MAX_LINE_BYTES``) gets one error response and the
+  connection is dropped, so a misbehaving client cannot buffer-bomb the
+  server.
+
+Typical in-process use (tests, examples)::
+
+    registry = SessionRegistry(sessions_dir="runs/", max_sessions=16)
+    with running_server(registry) as server:
+        client = TuningClient(port=server.port)
+        ...
+
+and from the command line::
+
+    python -m repro serve --tcp 7730 --sessions-dir runs/ --max-sessions 16
+"""
+
+from __future__ import annotations
+
+import json
+import socketserver
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+from .service import MAX_LINE_BYTES, SessionRegistry
+
+__all__ = ["TuningRequestHandler", "TuningServer", "running_server"]
+
+
+class TuningRequestHandler(socketserver.StreamRequestHandler):
+    """One connection: JSON-lines request/response until EOF or shutdown."""
+
+    def handle(self) -> None:  # noqa: D102 - socketserver hook
+        registry: SessionRegistry = self.server.registry  # type: ignore[attr-defined]
+        while registry.running:
+            try:
+                raw = self.rfile.readline(MAX_LINE_BYTES + 2)
+            except (ConnectionError, OSError):
+                break
+            if not raw:
+                break  # client closed the connection
+            oversized = len(raw) > MAX_LINE_BYTES and not raw.endswith(b"\n")
+            line = raw.decode("utf-8", errors="replace").strip()
+            if not line and not oversized:
+                continue
+            if oversized:
+                response = json.dumps(
+                    {
+                        "ok": False,
+                        "error": f"bad request: request line exceeds "
+                                 f"{MAX_LINE_BYTES} bytes",
+                    }
+                )
+            else:
+                response = registry.handle_line(line)
+            try:
+                self.wfile.write(response.encode("utf-8") + b"\n")
+                self.wfile.flush()
+            except (ConnectionError, OSError):
+                break
+            if oversized:
+                break  # the rest of the frame is unframed garbage; drop them
+            if not registry.running:
+                self.server.initiate_shutdown()  # type: ignore[attr-defined]
+                break
+
+
+class TuningServer(socketserver.ThreadingTCPServer):
+    """A ``ThreadingTCPServer`` bound to one :class:`SessionRegistry`.
+
+    ``port=0`` binds an ephemeral port (read it back from :attr:`port`).
+    Handler threads are daemonic, so a hard interpreter exit never hangs on
+    a stuck client; durable state lives in the registry's autosave files.
+    """
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(
+        self,
+        registry: SessionRegistry,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.registry = registry
+        super().__init__((host, port), TuningRequestHandler)
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    def initiate_shutdown(self) -> None:
+        """Stop the server from a handler thread without deadlocking.
+
+        ``shutdown()`` blocks until ``serve_forever`` exits, so it must not
+        run on the serve loop's own thread; a one-shot daemon thread is safe
+        from anywhere.
+        """
+        threading.Thread(target=self.shutdown, daemon=True).start()
+
+    def serve_until_shutdown(self, poll_interval: float = 0.2) -> None:
+        """``serve_forever`` plus autosave of every session on the way out."""
+        try:
+            self.serve_forever(poll_interval=poll_interval)
+        finally:
+            self.registry.running = False
+            self.registry.autosave_all()
+            self.server_close()
+
+
+@contextmanager
+def running_server(
+    registry: SessionRegistry,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> Iterator[TuningServer]:
+    """A server running on a background thread, stopped and autosaved on exit."""
+    server = TuningServer(registry, host=host, port=port)
+    thread = threading.Thread(
+        target=server.serve_forever, kwargs={"poll_interval": 0.05}, daemon=True
+    )
+    thread.start()
+    try:
+        yield server
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+        registry.autosave_all()

@@ -191,11 +191,15 @@ class Tree:
                 nxt = dict(partial)
                 nxt[next_param.name] = child.value
                 stack.append((child, nxt, share))
-        self._leaves = leaves
         cumulative = np.cumsum(np.asarray(biased, dtype=float))
         # guard against floating drift so searchsorted can never fall off the end
         cumulative[-1] = 1.0
+        # publication order matters under concurrency: every fast-path check
+        # gates on `_leaves is None`, so the cumulative weights must be
+        # visible before `_leaves` is.  The walk itself is deterministic, so
+        # two racing materializations assign identical values (idempotent).
         self._biased_cumulative = cumulative
+        self._leaves = leaves
 
     def leaves(self) -> list[dict[str, Any]]:
         """The materialized feasible partial configurations (cached).

@@ -12,7 +12,10 @@ Four layers of protection for the encoding-layer and ask/tell refactors:
   workload (``tests/data/bitcompat_trajectories.json``) — now driven through
   the ask/tell ``TuningSession`` underneath ``tune()``,
 * every tuner checkpointed mid-run and restored **in a fresh process**
-  completes with a trace bit-identical to an uninterrupted run.
+  completes with a trace bit-identical to an uninterrupted run,
+* a session driven over the concurrent TCP tuning server — with another
+  session running on the same server at the same time — produces the same
+  trajectory as the same seed driven in-process.
 """
 
 from __future__ import annotations
@@ -274,3 +277,70 @@ class TestCheckpointResumeBitCompatibility:
         assert proc.returncode == 0, proc.stderr
         resumed = json.loads(out.read_text())
         assert resumed == expected
+
+
+class TestTcpServiceBitCompatibility:
+    """Tentpole guarantee of the TCP serving layer: a session driven over
+    the network — concurrently with an unrelated session on the same server
+    — produces a trajectory bit-identical to the same seed driven
+    in-process.  The framing, the wire encoding, per-session locking, and
+    cross-session interleaving must all be invisible to the trace."""
+
+    BENCHMARK = "hpvm_bfs"
+    BUDGET = 10
+
+    @pytest.mark.parametrize("tuner_name", ["BaCO", "Ytopt", "CoT Sampling"])
+    def test_tcp_trace_matches_in_process(self, tuner_name):
+        import threading
+
+        from repro.client import TuningClient
+        from repro.core.session import drive
+        from repro.experiments.runner import make_session
+        from repro.server import running_server
+        from repro.service import SessionRegistry
+        from repro.workloads.registry import get_benchmark
+
+        bench = get_benchmark(self.BENCHMARK)
+
+        # the serial in-process reference trajectory
+        session, _ = make_session(self.BENCHMARK, tuner_name, self.BUDGET, 17)
+        drive(session, bench.evaluator)
+        expected = session.snapshot()["history"]["evaluations"]
+
+        registry = SessionRegistry(max_sessions=4)
+        errors: list[BaseException] = []
+        got: dict[str, list] = {}
+
+        def main_client(port):
+            try:
+                with TuningClient(port=port, session="under-test") as client:
+                    client.start(benchmark=self.BENCHMARK, tuner=tuner_name,
+                                 budget=self.BUDGET, seed=17)
+                    client.drive(bench.evaluator)
+                    snapshot = client.snapshot()["snapshot"]
+                    got["trace"] = snapshot["history"]["evaluations"]
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        def noisy_neighbour(port):
+            # unrelated traffic interleaving on the same server must not
+            # perturb the session under test
+            try:
+                with TuningClient(port=port, session="neighbour") as client:
+                    client.start(benchmark=self.BENCHMARK,
+                                 tuner="Uniform Sampling", budget=8, seed=3)
+                    client.drive(bench.evaluator)
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        with running_server(registry) as server:
+            threads = [
+                threading.Thread(target=main_client, args=(server.port,)),
+                threading.Thread(target=noisy_neighbour, args=(server.port,)),
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert not errors, errors
+        assert got["trace"] == expected

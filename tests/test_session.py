@@ -8,7 +8,10 @@ Covers the tentpole guarantees of the API inversion:
 * batch asks never over-commit the budget, deduplicate against pending
   work, and yield deterministic traces for a fixed batch size,
 * the legacy helpers raise a clear error outside an active session,
-* the JSON-lines service drives a session end to end.
+* the JSON-lines service drives a session end to end (``SessionService``
+  is now the single-session view of ``SessionRegistry``; the multi-session
+  registry, the TCP server, and the malformed-traffic hardening are covered
+  by ``test_server.py`` and ``test_service_hardening.py``).
 """
 
 from __future__ import annotations
