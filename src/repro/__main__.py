@@ -243,6 +243,15 @@ def _cmd_tune(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
+        if args.surrogate_policy is not None:
+            # the checkpoint records the policy; overriding it mid-run would
+            # silently break the deterministic replay contract
+            print(
+                "error: --surrogate-policy cannot be combined with --resume "
+                "(the checkpoint already records the policy)",
+                file=sys.stderr,
+            )
+            return 2
         session, benchmark = load_session(checkpoint)
         if not args.quiet:
             print(
@@ -261,6 +270,7 @@ def _cmd_tune(args: argparse.Namespace) -> int:
         session, benchmark = make_session(
             args.benchmark, args.tuner, budget, args.seed or 0,
             fidelity=args.fidelity or "fast",
+            surrogate_policy=args.surrogate_policy,
         )
 
     stop_after = args.stop_after
@@ -352,8 +362,28 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _bench_baseline_speedups(path: Path) -> dict[str, float]:
+    """Per-section speedups from the committed baseline JSON (empty if absent)."""
+    try:
+        committed = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return {}
+    sections = committed.get("sections")
+    if not isinstance(sections, dict):
+        return {}
+    return {
+        name: float(section["speedup"])
+        for name, section in sections.items()
+        if isinstance(section, dict) and isinstance(section.get("speedup"), (int, float))
+    }
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from .experiments.hotpath_bench import run_hotpath_benchmarks, write_results
+    from .experiments.hotpath_bench import (
+        DEFAULT_OUTPUT,
+        run_hotpath_benchmarks,
+        write_results,
+    )
 
     scale = 0.25 if args.quick else 1.0
     payload = run_hotpath_benchmarks(
@@ -362,36 +392,58 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         n_candidates=max(50, int(args.candidates * scale)),
         n_generated=max(64, int(args.generated * scale)),
         repeats=args.repeats,
+        end_to_end_budget=max(12, int(args.end_to_end_budget * scale)),
+        sections=args.section or None,
     )
-    headers = ["Section", "Legacy", "Vectorized", "Speedup", "Throughput"]
+    # delta column against the committed baseline, so perf regressions show
+    # up directly in PR logs
+    baseline = _bench_baseline_speedups(DEFAULT_OUTPUT)
+    headers = ["Section", "Baseline", "Optimized", "Speedup", "Throughput", "Δ committed"]
     rows = []
     for name, section in payload["sections"].items():
-        legacy_s = section.get("legacy_seconds")
-        new_s = section.get("vectorized_seconds", section.get("incremental_seconds"))
+        base_s = section.get("legacy_seconds", section.get("exact_seconds"))
+        new_s = section.get(
+            "vectorized_seconds",
+            section.get("incremental_seconds", section.get("fast_seconds")),
+        )
         throughput = next(
             (
-                f"{section[key]:,.0f} {key.split('_')[1]}/s"
+                f"{section[key]:,.0f} {key.rsplit('_', 3)[-3]}/s"
                 for key in (
                     "vectorized_candidates_per_sec",
                     "vectorized_configs_per_sec",
                     "incremental_fits_per_sec",
+                    "fast_iters_per_sec",
                 )
                 if key in section
             ),
             "—",
         )
+        committed_speedup = baseline.get(name)
+        if committed_speedup:
+            ratio = section["speedup"] / committed_speedup
+            delta = f"{committed_speedup:.1f}x ({'+' if ratio >= 1 else ''}{(ratio - 1) * 100:.0f}%)"
+        else:
+            delta = "—"
         rows.append(
             [
                 name,
-                f"{legacy_s * 1e3:.1f} ms",
+                f"{base_s * 1e3:.1f} ms",
                 f"{new_s * 1e3:.1f} ms",
                 f"{section['speedup']:.1f}x",
                 throughput,
+                delta,
             ]
         )
-    print(format_table(headers, rows, title="tuner hot path: legacy dicts vs encoded rows"))
-    path = write_results(payload, args.out)
-    print(f"wrote {path}")
+    print(format_table(headers, rows, title="tuner hot path: optimized vs baseline paths"))
+    out = args.out
+    if out is None:
+        # single-section payloads are not complete baselines — only write
+        # them when the caller asked for a file explicitly
+        out = None if args.section else DEFAULT_OUTPUT
+    if out is not None:
+        path = write_results(payload, out)
+        print(f"wrote {path}")
     return 0
 
 
@@ -460,6 +512,14 @@ def main(argv: list[str] | None = None) -> int:
         "--fidelity", choices=("fast", "paper"), default=None, help="optimizer effort level"
     )
     tune_parser.add_argument(
+        "--surrogate-policy", default=None, metavar="SPEC",
+        help="surrogate refit policy for BaCO-family tuners: 'exact' (default, "
+             "bit-compatible full refit per iteration) or 'fast[,refit_every=N]"
+             "[,sweep_every=N][,rf_at=N]' (incremental Cholesky updates, "
+             "warm-started hyperparameters, optional GP→RF switch); "
+             "incompatible with --resume",
+    )
+    tune_parser.add_argument(
         "--eval-workers", type=int, default=None,
         help="parallel black-box evaluations per ask() batch (default: 1)",
     )
@@ -517,8 +577,18 @@ def main(argv: list[str] | None = None) -> int:
         "bench", help="run the tuner hot-path microbenchmarks"
     )
     bench_parser.add_argument(
-        "--out", type=Path, default=Path("BENCH_tuner_hotpath.json"),
-        help="output JSON path (default: BENCH_tuner_hotpath.json)",
+        "--out", type=Path, default=None,
+        help="output JSON path (default: BENCH_tuner_hotpath.json for full "
+             "runs; --section runs print only unless --out is given)",
+    )
+    bench_parser.add_argument(
+        "--section", action="append", default=None, metavar="NAME",
+        help="run only this section (repeatable), e.g. --section gp_fit; "
+             "see repro.experiments.hotpath_bench.ALL_SECTIONS",
+    )
+    bench_parser.add_argument(
+        "--end-to-end-budget", type=int, default=30,
+        help="evaluation budget for the end_to_end section (default: 30)",
     )
     bench_parser.add_argument(
         "--distance-configs", type=int, default=300,

@@ -32,7 +32,7 @@ import numpy as np
 from scipy import stats
 
 from ..models.distances import DistanceComputer, IncrementalDistanceTensor
-from ..models.gp import GaussianProcess
+from ..models.gp import GaussianProcess, GPHyperparameters
 from ..models.priors import GammaPrior
 from ..models.random_forest import RandomForestRegressor
 from ..space.parameters import (
@@ -50,7 +50,113 @@ from .local_search import LocalSearchSettings, multistart_local_search_batch
 from .result import ObjectiveResult
 from .tuner import Tuner
 
-__all__ = ["BacoSettings", "BacoTuner"]
+__all__ = ["BacoSettings", "BacoTuner", "SurrogatePolicy"]
+
+
+@dataclass(frozen=True)
+class SurrogatePolicy:
+    """Budget-adaptive surrogate refit policy.
+
+    ``mode="exact"`` (default) reproduces the historical behavior exactly:
+    every learning iteration re-runs the full multistart MAP hyper-parameter
+    sweep and refactorizes the kernel from scratch.  All bit-compat
+    trajectory fixtures are recorded in this mode.
+
+    ``mode="fast"`` switches to incremental refits:
+
+    * most iterations keep the hyper-parameters **frozen** and only extend
+      the cached Cholesky factor by the new rows (O(n²) per observation);
+    * every ``refit_hypers_every`` feasible observations a **warm** refit
+      runs one L-BFGS-B refinement seeded from the previous optimum;
+    * every ``sweep_every`` feasible observations the full multistart
+      **sweep** re-runs (with the previous optimum joining the pool);
+    * past ``rf_threshold`` feasible observations (when set) the GP is
+      replaced by the O(n log n)-fit random-forest surrogate — the
+      budget-adaptive switch for long runs where even incremental GP
+      algebra grows quadratically.
+
+    Spec strings round-trip through :meth:`parse` / :meth:`spec`:
+    ``"exact"``, ``"fast"``, or
+    ``"fast,refit_every=8,sweep_every=40,rf_at=256"``.
+    """
+
+    mode: str = "exact"
+    refit_hypers_every: int = 8
+    sweep_every: int = 40
+    rf_threshold: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("exact", "fast"):
+            raise ValueError("surrogate policy mode must be 'exact' or 'fast'")
+        if self.refit_hypers_every < 1:
+            raise ValueError("refit_hypers_every must be >= 1")
+        if self.sweep_every < 1:
+            raise ValueError("sweep_every must be >= 1")
+        if self.rf_threshold is not None and self.rf_threshold < 2:
+            raise ValueError("rf_threshold must be >= 2")
+
+    @classmethod
+    def parse(cls, spec: "str | SurrogatePolicy | None") -> "SurrogatePolicy":
+        """Parse a policy spec string (idempotent on policy instances)."""
+        if spec is None:
+            return cls()
+        if isinstance(spec, SurrogatePolicy):
+            return spec
+        parts = [part.strip() for part in str(spec).split(",") if part.strip()]
+        if not parts:
+            raise ValueError("empty surrogate policy spec")
+        mode, options = parts[0], parts[1:]
+        if mode == "exact":
+            if options:
+                raise ValueError("'exact' takes no options")
+            return cls()
+        if mode != "fast":
+            raise ValueError(
+                f"unknown surrogate policy {mode!r}; expected 'exact' or 'fast'"
+            )
+        kwargs: dict[str, int] = {}
+        keys = {"refit_every": "refit_hypers_every", "sweep_every": "sweep_every", "rf_at": "rf_threshold"}
+        for option in options:
+            if "=" not in option:
+                raise ValueError(f"malformed policy option {option!r} (expected key=value)")
+            key, _, value = option.partition("=")
+            field = keys.get(key.strip())
+            if field is None:
+                raise ValueError(
+                    f"unknown policy option {key.strip()!r}; expected one of {sorted(keys)}"
+                )
+            if field in kwargs:
+                raise ValueError(f"duplicate policy option {key.strip()!r}")
+            try:
+                kwargs[field] = int(value)
+            except ValueError:
+                raise ValueError(f"policy option {key.strip()!r} must be an integer") from None
+        return cls(mode="fast", **kwargs)
+
+    def spec(self) -> str:
+        """Canonical spec string (``parse(spec())`` round-trips)."""
+        if self.mode == "exact":
+            return "exact"
+        spec = f"fast,refit_every={self.refit_hypers_every},sweep_every={self.sweep_every}"
+        if self.rf_threshold is not None:
+            spec += f",rf_at={self.rf_threshold}"
+        return spec
+
+    def surrogate_for(self, n_train: int) -> str:
+        """``"gp"`` or ``"rf"`` for a training set of ``n_train`` rows."""
+        if self.mode == "fast" and self.rf_threshold is not None and n_train >= self.rf_threshold:
+            return "rf"
+        return "gp"
+
+    def fit_strategy(self, n_train: int, last_sweep_n: int, last_refit_n: int) -> str:
+        """The :meth:`GaussianProcess.fit_rows` strategy for the next refit."""
+        if self.mode == "exact" or last_sweep_n < 2:
+            return "sweep"
+        if n_train - last_sweep_n >= self.sweep_every:
+            return "sweep"
+        if n_train - last_refit_n >= self.refit_hypers_every:
+            return "warm"
+        return "frozen"
 
 
 def _without_log_transform(param: Parameter) -> Parameter:
@@ -106,10 +212,13 @@ class BacoSettings:
     gp_max_iterations: int = 25
     #: RF surrogate settings (when surrogate == "rf")
     rf_trees: int = 32
+    #: surrogate refit policy spec ("exact" default; see :class:`SurrogatePolicy`)
+    surrogate_policy: str = "exact"
 
     def __post_init__(self) -> None:
         if self.surrogate not in ("gp", "rf"):
             raise ValueError("surrogate must be 'gp' or 'rf'")
+        SurrogatePolicy.parse(self.surrogate_policy)  # validate the spec
 
     @classmethod
     def baco_minus_minus(cls) -> "BacoSettings":
@@ -156,6 +265,17 @@ class BacoTuner(Tuner):
         self._space_rows_feasible: list[np.ndarray] = []
         self._feasible_values: list[float] = []
         self._feasible_flags: list[bool] = []
+        # Surrogate refit policy ("exact" keeps the historical per-iteration
+        # full refit; "fast" reuses _fast_gp across iterations with
+        # incremental Cholesky extension and warm-started hyper fits).
+        self._policy = SurrogatePolicy.parse(self.settings.surrogate_policy)
+        self._fast_gp: GaussianProcess | None = None
+        self._policy_state: dict[str, Any] = {
+            "last_sweep_n": 0,
+            "last_refit_n": 0,
+            "hypers": None,
+        }
+        self._restored_chol_base_n = 0
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -189,8 +309,23 @@ class BacoTuner(Tuner):
         # constraints are irrelevant for distance computations
         return SearchSpace(parameters, constraints=[], build_chain_of_trees=False)
 
-    def _make_surrogate(self) -> GaussianProcess | RandomForestRegressor:
-        if self.settings.surrogate == "rf":
+    def set_surrogate_policy(self, policy: "str | SurrogatePolicy") -> None:
+        """Install a surrogate refit policy (spec string or instance).
+
+        Resets the fast-path state; call before :meth:`start` / ``tune`` (the
+        policy is part of the tuner configuration, not per-run state).
+        """
+        self._policy = SurrogatePolicy.parse(policy)
+        self._fast_gp = None
+        self._policy_state = {"last_sweep_n": 0, "last_refit_n": 0, "hypers": None}
+        self._restored_chol_base_n = 0
+
+    @property
+    def surrogate_policy(self) -> SurrogatePolicy:
+        return self._policy
+
+    def _make_surrogate(self, kind: str | None = None) -> GaussianProcess | RandomForestRegressor:
+        if (kind or self.settings.surrogate) == "rf":
             return RandomForestRegressor(n_trees=self.settings.rf_trees, rng=self._rng)
         return GaussianProcess(
             self._model_space.parameters,
@@ -213,6 +348,9 @@ class BacoTuner(Tuner):
         self._space_rows_feasible.clear()
         self._feasible_values.clear()
         self._feasible_flags.clear()
+        self._fast_gp = None
+        self._policy_state = {"last_sweep_n": 0, "last_refit_n": 0, "hypers": None}
+        self._restored_chol_base_n = 0
 
     def _plan(self, budget: int) -> None:
         doe_size = self.settings.doe_size or default_doe_size(self.space, budget)
@@ -274,9 +412,13 @@ class BacoTuner(Tuner):
         if len(values) < 2 or len(set(values)) < 2:
             return self._random_fallback_batch(k, exclude)
 
-        surrogate = self._make_surrogate()
-        if isinstance(surrogate, RandomForestRegressor):
-            acquisition = self._fit_rf_acquisition(surrogate, values)
+        surrogate_kind = self.settings.surrogate
+        if surrogate_kind == "gp":
+            # budget-adaptive switch: past the policy threshold the GP's
+            # (even incremental) quadratic algebra loses to the RF surrogate
+            surrogate_kind = self._policy.surrogate_for(len(values))
+        if surrogate_kind == "rf":
+            acquisition = self._fit_rf_acquisition(self._make_surrogate("rf"), values)
         else:
             if len(self._gp_distance_cache) != len(values):
                 # programming error (e.g. an _observe override skipping
@@ -286,14 +428,20 @@ class BacoTuner(Tuner):
                     f"incremental distance cache holds {len(self._gp_distance_cache)} "
                     f"rows but there are {len(values)} feasible observations"
                 )
-            try:
-                surrogate.fit_rows(
-                    self._gp_distance_cache.rows,
-                    values,
-                    distance_tensor=self._gp_distance_cache.tensor,
-                )
-            except (ValueError, np.linalg.LinAlgError):
-                return self._random_fallback_batch(k, exclude)
+            if self._policy.mode == "fast":
+                surrogate = self._fit_fast_gp(values)
+                if surrogate is None:
+                    return self._random_fallback_batch(k, exclude)
+            else:
+                surrogate = self._make_surrogate("gp")
+                try:
+                    surrogate.fit_rows(
+                        self._gp_distance_cache.rows,
+                        values,
+                        distance_tensor=self._gp_distance_cache.tensor,
+                    )
+                except (ValueError, np.linalg.LinAlgError):
+                    return self._random_fallback_batch(k, exclude)
             epsilon = self._epsilon_schedule.sample(self._rng)
             acquisition = AcquisitionFunction(
                 surrogate,
@@ -316,6 +464,122 @@ class BacoTuner(Tuner):
             taken = exclude | {self.space.freeze(c) for c in chosen}
             chosen.append(self._random_fallback(taken))
         return chosen
+
+    def _fit_fast_gp(self, values: list[float]) -> GaussianProcess | None:
+        """Refit the persistent fast-policy GP, incrementally when possible.
+
+        The instance survives across iterations so its cached Cholesky
+        factor can be extended row by row.  Strategy per
+        :meth:`SurrogatePolicy.fit_strategy`; any numerical failure drops
+        the cached state and reports ``None`` (random-fallback iteration —
+        the next call rebuilds from a full sweep).
+        """
+        n = len(values)
+        rows = self._gp_distance_cache.rows
+        tensor = self._gp_distance_cache.tensor
+        gp = self._fast_gp
+        if gp is None:
+            gp = self._make_surrogate("gp")
+        st = self._policy_state
+        if gp.hyperparameters is None:
+            strategy = "sweep"
+        else:
+            strategy = self._policy.fit_strategy(n, st["last_sweep_n"], st["last_refit_n"])
+        try:
+            if strategy == "frozen":
+                if gp._chol_n < n:
+                    gp.extend_cholesky(rows, tensor)
+                gp.refit_targets(values)
+            else:
+                warm = None
+                if gp.hyperparameters is not None:
+                    warm = gp.hyperparameters.to_vector()
+                gp.fit_rows(
+                    rows, values, distance_tensor=tensor,
+                    hyper_strategy=strategy, warm_start=warm,
+                )
+                st["last_refit_n"] = n
+                if strategy == "sweep":
+                    st["last_sweep_n"] = n
+                hp = gp.hyperparameters
+                # raw values, not the log-vector: exp(log(x)) is not
+                # bit-exact, and restore must rebuild the identical factor
+                st["hypers"] = {
+                    "lengthscales": [float(x) for x in hp.lengthscales],
+                    "outputscale": float(hp.outputscale),
+                    "noise_variance": float(hp.noise_variance),
+                }
+        except (ValueError, np.linalg.LinAlgError):
+            self._fast_gp = None
+            return None
+        self._fast_gp = gp
+        return gp
+
+    # ------------------------------------------------------------------
+    # snapshot / restore of the fast-policy state
+    # ------------------------------------------------------------------
+    def _state_dict(self) -> dict:
+        state = super()._state_dict()
+        if self._policy.mode != "exact":
+            gp = self._fast_gp
+            payload = dict(self._policy_state)
+            payload["spec"] = self._policy.spec()
+            payload["chol_base_n"] = (
+                gp._chol_base_n if gp is not None and gp.hyperparameters is not None else 0
+            )
+            state["surrogate_policy"] = payload
+        return state
+
+    def _load_state_dict(self, state: Mapping[str, Any]) -> None:
+        super()._load_state_dict(state)
+        payload = state.get("surrogate_policy")
+        if payload is not None:
+            spec = payload.get("spec")
+            if spec is not None:
+                self._policy = SurrogatePolicy.parse(spec)
+            self._policy_state = {
+                "last_sweep_n": int(payload.get("last_sweep_n", 0)),
+                "last_refit_n": int(payload.get("last_refit_n", 0)),
+                "hypers": payload.get("hypers"),
+            }
+            self._restored_chol_base_n = int(payload.get("chol_base_n", 0))
+
+    def _post_restore(self) -> None:
+        """Rebuild the fast-policy GP so a resumed run replays bit-exactly.
+
+        The snapshot records the hyper-parameters and how many rows the last
+        *full* factorization covered (``chol_base_n``).  Refactorizing those
+        rows with frozen hyper-parameters reproduces the original factor
+        exactly (deterministic linalg on identical inputs); the rows beyond
+        it are re-extended one at a time by the next :meth:`_fit_fast_gp`,
+        the same per-row arithmetic the original run performed.
+        """
+        if self._policy.mode == "exact":
+            return
+        st = self._policy_state
+        hypers = st.get("hypers")
+        base_n = self._restored_chol_base_n
+        if hypers is None or base_n < 2:
+            self._fast_gp = None
+            return
+        if base_n > len(self._feasible_values):
+            raise ValueError(
+                f"surrogate policy state covers {base_n} observations but the "
+                f"restored history holds {len(self._feasible_values)}"
+            )
+        gp = self._make_surrogate("gp")
+        gp.hyperparameters = GPHyperparameters(
+            lengthscales=np.asarray(hypers["lengthscales"], dtype=float),
+            outputscale=float(hypers["outputscale"]),
+            noise_variance=float(hypers["noise_variance"]),
+        )
+        gp.fit_rows(
+            self._gp_distance_cache.rows[:base_n],
+            self._feasible_values[:base_n],
+            distance_tensor=self._gp_distance_cache.tensor[:, :base_n, :base_n],
+            hyper_strategy="frozen",
+        )
+        self._fast_gp = gp
 
     def _random_fallback_batch(self, k: int, exclude: set[tuple]) -> list[Configuration]:
         chosen: list[Configuration] = []

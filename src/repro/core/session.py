@@ -355,6 +355,7 @@ class TuningSession:
                 ObjectiveResult(value=evaluation.value, feasible=evaluation.feasible),
             )
         tuner._load_state_dict(payload.get("tuner_state", {}))
+        tuner._post_restore()
         _rng_state_from_json(tuner._rng, payload["rng"])
         session._reissue = deque(
             Suggestion.from_dict(entry) for entry in payload.get("pending", ())

@@ -162,6 +162,12 @@ class Tuner(ABC):
             configuration_from_json(entry) for entry in payload.get("doe_queue", ())
         )
 
+    def _post_restore(self) -> None:
+        """Hook called once a snapshot restore has replayed the full history
+        and loaded the state dict.  Subclasses rebuild derived caches that
+        depend on *both* (e.g. a Cholesky factor over the replayed rows with
+        snapshotted hyper-parameters).  Must not consume randomness."""
+
     # ------------------------------------------------------------------
     # history access and legacy helpers
     # ------------------------------------------------------------------

@@ -5,8 +5,10 @@ evaluations (PAPER.md Fig. 2, Table 10 wall-clock):
 
 * **distance_build** — building the per-dimension train-train distance tensor
   for a batch of configurations,
-* **gp_fit** — one learning-phase GP fit after appending a single new
-  observation (the incremental-tensor case vs. a full recompute),
+* **gp_fit** — one learning-phase surrogate refit after appending a single
+  new observation, across the refit strategies: legacy full recompute, the
+  exact-mode multistart fit, a warm-started single L-BFGS refinement, and
+  the rank-1 incremental Cholesky extension (frozen hyper-parameters),
 * **ei_maximization** — scoring a candidate batch with feasibility-weighted
   EI (cross distances, kernel, RF feasibility pass),
 * **candidate_generation** — drawing a feasible candidate batch from a
@@ -15,7 +17,9 @@ evaluations (PAPER.md Fig. 2, Table 10 wall-clock):
   rejection loop),
 * **constraint_eval** — known-constraint feasibility checks for a batch of
   configurations (compiled column evaluators over encoded rows vs. one
-  Python ``eval`` per constraint per configuration).
+  Python ``eval`` per constraint per configuration),
+* **end_to_end** — whole-loop ``BacoTuner.tune`` iterations/sec on a
+  constrained space, exact vs fast surrogate policy.
 
 Each section times the **legacy / scalar-reference** path — per-call feature
 re-derivation from raw configuration dicts, the per-pair Kendall double loop,
@@ -53,6 +57,7 @@ from ..space.parameters import (
 from ..space.space import SearchSpace
 
 __all__ = [
+    "ALL_SECTIONS",
     "DEFAULT_OUTPUT",
     "hotpath_space",
     "constrained_space",
@@ -156,14 +161,32 @@ def _bench_distance_build(space: SearchSpace, n: int, repeats: int) -> dict[str,
 
 
 def _bench_gp_fit(space: SearchSpace, n_train: int, repeats: int) -> dict[str, Any]:
+    """One learning-iteration surrogate refit, across the refit strategies.
+
+    Four variants of "a new observation arrived, update the GP":
+
+    * **legacy** — pre-refactor shape: re-derive the full train-train tensor
+      from the raw dicts, then run the full multistart MAP fit;
+    * **exact** — the current exact-mode iteration: one cross-block update of
+      the cached tensor buffer, then the full multistart MAP fit (this is
+      what the default ``SurrogatePolicy("exact")`` pays per iteration);
+    * **warm_started** — tensor update + a single L-BFGS-B refinement seeded
+      from the previous optimum (``hyper_strategy="warm"``);
+    * **incremental** — tensor update + rank-1 Cholesky extension + alpha
+      recompute with frozen hyper-parameters (the fast policy's steady
+      state — no hyper search, no factorization).
+
+    The headline ``speedup`` is exact vs incremental: the per-iteration cost
+    the fast surrogate policy removes.
+    """
     configs = _sample_configs(space, n_train, seed=11)
     values = list(np.random.default_rng(12).uniform(0.5, 5.0, size=n_train))
     computer = DistanceComputer(space.parameters)
     rows = computer.encoder.encode_batch(configs)
 
     def make_gp() -> GaussianProcess:
-        # fixed fitting effort + seed: both paths do identical hyper-parameter
-        # work, so the difference isolates the distance/bookkeeping cost
+        # fixed fitting effort + seed: the full-fit paths do identical
+        # hyper-parameter work, so differences isolate the refit strategy
         return GaussianProcess(
             space.parameters,
             n_prior_samples=8,
@@ -174,32 +197,132 @@ def _bench_gp_fit(space: SearchSpace, n_train: int, repeats: int) -> dict[str, A
         )
 
     def legacy_iteration() -> None:
-        # pre-refactor shape of one learning iteration: re-derive the full
-        # train-train tensor from the raw dicts, then fit
         tensor = computer.pairwise_reference(configs)
         make_gp().fit_rows(rows, values, distance_tensor=tensor)
 
     # Steady state of the refactored loop: the tensor buffer over the first
     # n-1 observations is already cached; one iteration appends a single
-    # encoded row (one cross block + O(n) buffer writes) and fits.
+    # encoded row (one cross block + O(n) buffer writes) before refitting.
     tensor_buffer = computer.pairwise_rows(rows)
 
-    def incremental_iteration() -> None:
+    def update_tensor() -> None:
         cross = computer.pairwise_rows(rows[-1:], rows[:-1])
         tensor_buffer[:, -1:, :-1] = cross
         tensor_buffer[:, :-1, -1:] = np.swapaxes(cross, 1, 2)
         tensor_buffer[:, -1:, -1:] = computer.pairwise_rows(rows[-1:])
+
+    def exact_iteration() -> None:
+        update_tensor()
         make_gp().fit_rows(rows, values, distance_tensor=tensor_buffer)
 
+    # a converged previous optimum to seed the warm refit from
+    seed_gp = make_gp()
+    seed_gp.fit_rows(rows[:-1], values[:-1], distance_tensor=tensor_buffer[:, :-1, :-1])
+    warm_vector = seed_gp.hyperparameters.to_vector()
+
+    warm_gp = make_gp()
+    warm_gp.hyperparameters = seed_gp.hyperparameters
+
+    def warm_iteration() -> None:
+        update_tensor()
+        warm_gp.fit_rows(
+            rows, values, distance_tensor=tensor_buffer,
+            hyper_strategy="warm", warm_start=warm_vector,
+        )
+
+    # frozen-hyper steady state: the factor over the first n-1 rows is
+    # cached; each iteration extends it by one row and recomputes alpha
+    frozen_gp = make_gp()
+    frozen_gp.fit_rows(
+        rows[:-1], values[:-1], distance_tensor=tensor_buffer[:, :-1, :-1]
+    )
+    base_cholesky = frozen_gp._cholesky
+
+    def incremental_iteration() -> None:
+        update_tensor()
+        # rewind to the pre-extension factor so every repeat measures the
+        # same one-row extension (references only — O(1), not timed work)
+        frozen_gp._cholesky = base_cholesky
+        frozen_gp._chol_n = n_train - 1
+        frozen_gp.extend_cholesky(rows, tensor_buffer)
+        frozen_gp.refit_targets(values)
+
     legacy_s = _best_of(legacy_iteration, repeats)
+    exact_s = _best_of(exact_iteration, repeats)
+    warm_s = _best_of(warm_iteration, repeats)
     incremental_s = _best_of(incremental_iteration, repeats)
     return {
         "n_train": n_train,
         "legacy_seconds": legacy_s,
+        "exact_seconds": exact_s,
+        "warm_started_seconds": warm_s,
         "incremental_seconds": incremental_s,
-        "legacy_fits_per_sec": 1.0 / legacy_s,
+        "exact_fits_per_sec": 1.0 / exact_s,
+        "warm_started_fits_per_sec": 1.0 / warm_s,
         "incremental_fits_per_sec": 1.0 / incremental_s,
-        "speedup": legacy_s / incremental_s,
+        "legacy_speedup": legacy_s / exact_s,
+        "warm_started_speedup": exact_s / warm_s,
+        "speedup": exact_s / incremental_s,
+    }
+
+
+def _bench_end_to_end(budget: int, repeats: int) -> dict[str, Any]:
+    """Whole-loop tuner throughput: exact vs fast surrogate policy.
+
+    Runs :meth:`BacoTuner.tune` on the constrained space against a synthetic
+    objective (always feasible, deterministic) and reports learning-loop
+    iterations per second.  This is the number the surrogate policy actually
+    moves — every hot-path stage combined, including the acquisition
+    maximization the refit sections exclude.
+    """
+    from ..core.baco import BacoSettings, BacoTuner
+    from ..core.result import ObjectiveResult
+
+    space = constrained_space()
+
+    def objective(config: dict[str, Any]) -> ObjectiveResult:
+        value = (
+            abs(np.log2(config["ts0"]) - 5.0)
+            + abs(np.log2(config["ts1"]) - 3.0)
+            + 0.1 * config["reps"]
+            + config["eps"]
+            + (0.5 if config["sched"] == "auto" else 0.0)
+            + 0.05 * sum(i * v for i, v in enumerate(config["loop_order"]))
+        )
+        return ObjectiveResult(value=float(1.0 + value))
+
+    def settings(policy: str) -> BacoSettings:
+        # reduced fitting effort (the runner's fast fidelity) keeps the
+        # benchmark wall-clock sane; both policies share every other knob
+        return BacoSettings(
+            gp_prior_samples=8,
+            gp_refined_starts=1,
+            gp_max_iterations=15,
+            n_random_samples=128,
+            n_local_search_starts=3,
+            max_local_search_steps=16,
+            feasibility_trees=16,
+            surrogate_policy=policy,
+        )
+
+    def run(policy: str) -> float:
+        best = np.inf
+        for _ in range(repeats):
+            tuner = BacoTuner(space, settings=settings(policy), seed=41)
+            start = time.perf_counter()
+            tuner.tune(objective, budget)
+            best = min(best, time.perf_counter() - start)
+        return float(best)
+
+    exact_s = run("exact")
+    fast_s = run("fast,refit_every=8,sweep_every=40")
+    return {
+        "budget": budget,
+        "exact_seconds": exact_s,
+        "fast_seconds": fast_s,
+        "exact_iters_per_sec": budget / exact_s,
+        "fast_iters_per_sec": budget / fast_s,
+        "speedup": exact_s / fast_s,
     }
 
 
@@ -356,6 +479,17 @@ def _bench_constraint_eval(space: SearchSpace, n: int, repeats: int) -> dict[str
 # driver
 # ---------------------------------------------------------------------------
 
+#: every benchmark section, in report order
+ALL_SECTIONS = (
+    "distance_build",
+    "gp_fit",
+    "ei_maximization",
+    "candidate_generation",
+    "constraint_eval",
+    "end_to_end",
+)
+
+
 def run_hotpath_benchmarks(
     n_distance_configs: int = 300,
     n_train: int = 80,
@@ -363,23 +497,44 @@ def run_hotpath_benchmarks(
     n_generated: int = 256,
     repeats: int = 3,
     permutation_metric: str = "kendall",
+    end_to_end_budget: int = 30,
+    sections: "tuple[str, ...] | list[str] | None" = None,
 ) -> dict[str, Any]:
-    """Run all sections and return the JSON-ready payload."""
+    """Run the requested sections (all by default), return the JSON payload.
+
+    ``sections`` filters to a subset of :data:`ALL_SECTIONS` — used by
+    ``repro bench --section`` for quick single-section runs.  A filtered
+    payload is not a complete baseline; the CLI only writes the committed
+    JSON for full runs.
+    """
+    if sections is None:
+        selected = ALL_SECTIONS
+    else:
+        unknown = sorted(set(sections) - set(ALL_SECTIONS))
+        if unknown:
+            raise ValueError(
+                f"unknown bench section(s) {unknown}; available: {list(ALL_SECTIONS)}"
+            )
+        selected = tuple(name for name in ALL_SECTIONS if name in set(sections))
     space = hotpath_space(permutation_metric)
     generation_space = constrained_space()
-    sections = {
-        "distance_build": _bench_distance_build(space, n_distance_configs, repeats),
-        "gp_fit": _bench_gp_fit(space, n_train, repeats),
-        "ei_maximization": _bench_ei_maximization(space, n_train, n_candidates, repeats),
-        "candidate_generation": _bench_candidate_generation(
+    runners: dict[str, Callable[[], dict[str, Any]]] = {
+        "distance_build": lambda: _bench_distance_build(space, n_distance_configs, repeats),
+        "gp_fit": lambda: _bench_gp_fit(space, n_train, repeats),
+        "ei_maximization": lambda: _bench_ei_maximization(
+            space, n_train, n_candidates, repeats
+        ),
+        "candidate_generation": lambda: _bench_candidate_generation(
             generation_space, n_generated, repeats
         ),
-        "constraint_eval": _bench_constraint_eval(
+        "constraint_eval": lambda: _bench_constraint_eval(
             generation_space, n_generated, repeats
         ),
+        "end_to_end": lambda: _bench_end_to_end(end_to_end_budget, max(1, repeats - 1)),
     }
+    results = {name: runners[name]() for name in selected}
     return {
-        "schema": "BENCH_tuner_hotpath/v2",
+        "schema": "BENCH_tuner_hotpath/v3",
         "space": {
             "dimension": space.dimension,
             "types": space.parameter_type_codes(),
@@ -390,7 +545,7 @@ def run_hotpath_benchmarks(
             "numpy": np.__version__,
             "machine": platform.machine(),
         },
-        "sections": sections,
+        "sections": results,
     }
 
 

@@ -101,6 +101,9 @@ TUNER_VARIANTS: dict[str, Callable[[SearchSpace, int, str], Tuner]] = {
     "BaCO (RF surrogate)": lambda space, seed, fid: BacoTuner(
         space, settings=_baco_settings(fid, surrogate="rf"), seed=seed
     ),
+    "BaCO (fast surrogate)": lambda space, seed, fid: BacoTuner(
+        space, settings=_baco_settings(fid, surrogate_policy="fast"), seed=seed
+    ),
     # Fig. 9: ablations
     "BaCO (kendall)": lambda space, seed, fid: BacoTuner(
         space, settings=_baco_settings(fid, permutation_metric="kendall"), seed=seed
@@ -127,12 +130,29 @@ TUNER_VARIANTS: dict[str, Callable[[SearchSpace, int, str], Tuner]] = {
 }
 
 
-def make_tuner(name: str, space: SearchSpace, seed: int, fidelity: str = "fast") -> Tuner:
-    """Instantiate a tuner variant by display name."""
+def make_tuner(
+    name: str,
+    space: SearchSpace,
+    seed: int,
+    fidelity: str = "fast",
+    surrogate_policy: str | None = None,
+) -> Tuner:
+    """Instantiate a tuner variant by display name.
+
+    ``surrogate_policy`` (a :class:`~repro.core.baco.SurrogatePolicy` spec
+    string, e.g. ``"fast,refit_every=8"``) overrides the variant's surrogate
+    refit policy; only BaCO-family tuners accept one.
+    """
     if name not in TUNER_VARIANTS:
         raise KeyError(f"unknown tuner {name!r}; available: {sorted(TUNER_VARIANTS)}")
     tuner = TUNER_VARIANTS[name](space, seed, fidelity)
     tuner.name = name
+    if surrogate_policy is not None:
+        if not hasattr(tuner, "set_surrogate_policy"):
+            raise ValueError(
+                f"tuner {name!r} does not support a surrogate policy"
+            )
+        tuner.set_surrogate_policy(surrogate_policy)
     return tuner
 
 
@@ -308,13 +328,24 @@ def make_session(
     budget: int,
     seed: int,
     fidelity: str = "fast",
+    surrogate_policy: str | None = None,
 ) -> tuple[TuningSession, Benchmark]:
-    """A fresh ask/tell session for one (benchmark, tuner, budget, seed) cell."""
+    """A fresh ask/tell session for one (benchmark, tuner, budget, seed) cell.
+
+    ``surrogate_policy`` is recorded in the session metadata (like the
+    fidelity) so checkpoints and service restores rebuild the tuner with the
+    same policy.
+    """
     if isinstance(benchmark, str):
         benchmark = get_benchmark(benchmark)
-    tuner = make_tuner(tuner_name, benchmark.space, seed, fidelity=fidelity)
+    tuner = make_tuner(
+        tuner_name, benchmark.space, seed,
+        fidelity=fidelity, surrogate_policy=surrogate_policy,
+    )
     session = tuner.start_session(budget, benchmark_name=benchmark.name)
     session.meta["fidelity"] = fidelity
+    if surrogate_policy is not None:
+        session.meta["surrogate_policy"] = surrogate_policy
     return session, benchmark
 
 
@@ -366,11 +397,13 @@ def restore_session(payload: Mapping[str, Any]) -> tuple[TuningSession, Benchmar
         # without the recorded seed the rebuilt tuner would be entropy-seeded
         # and the restored run would silently lose its determinism metadata
         raise ValueError("snapshot payload has no tuner seed")
+    snap_meta = payload.get("meta", {})
     tuner = make_tuner(
         tuner_meta["name"],
         benchmark.space,
         tuner_meta["seed"],
-        fidelity=payload.get("meta", {}).get("fidelity", "fast"),
+        fidelity=snap_meta.get("fidelity", "fast"),
+        surrogate_policy=snap_meta.get("surrogate_policy"),
     )
     return TuningSession.restore(payload, tuner), benchmark
 

@@ -23,6 +23,31 @@ dict-based :meth:`fit` / :meth:`predict` remain as thin adapters that encode
 and delegate.  The train tensor is computed once per fit and shared across
 all hyper-parameter restarts — only the (cheap) kernel evaluation depends on
 the hyper-parameters.
+
+Incremental refit
+-----------------
+
+Refitting from scratch every iteration is the last hot-path bottleneck: a
+full fit is an O(n³) Cholesky factorization *per hyper-parameter objective
+evaluation*, dozens of times per multistart MAP search.  Three cheaper refit
+paths support the tuner's fast surrogate policy
+(:class:`repro.core.baco.SurrogatePolicy`):
+
+* :meth:`fit_rows` with ``hyper_strategy="warm"`` skips the prior sweep and
+  runs a single L-BFGS refinement seeded from the previous optimum
+  (``warm_start``); with ``hyper_strategy="sweep"`` a ``warm_start`` vector
+  joins the multistart pool so the full search never regresses below the
+  previous optimum.  ``"frozen"`` keeps the current hyper-parameters and
+  only refactorizes.
+* :meth:`extend_cholesky` grows the cached factor ``L`` by one row per new
+  observation — an O(n²) triangular solve instead of an O(n³)
+  refactorization — valid exactly when the hyper-parameters are unchanged.
+* :meth:`refit_targets` re-standardizes the targets and recomputes ``alpha``
+  against the (possibly extended) cached factor, completing an incremental
+  "fit" without touching the kernel matrix at all.
+
+:attr:`n_train_factorizations` counts full train-matrix factorizations so
+tests can pin "one factorization per fit, zero per diagnostic call".
 """
 
 from __future__ import annotations
@@ -141,8 +166,18 @@ class GaussianProcess:
         self._train_distance: np.ndarray | None = None
         self._cholesky: np.ndarray | None = None
         self._alpha: np.ndarray | None = None
+        self._train_y: np.ndarray | None = None
         self._y_mean = 0.0
         self._y_std = 1.0
+        #: rows covered by the cached factor ``L`` (== len of _cholesky)
+        self._chol_n = 0
+        #: rows covered by the last *full* factorization; rows beyond this
+        #: were appended by rank-1 extension.  The tuner snapshots this so a
+        #: restore can replay the exact same factorize-then-extend sequence.
+        self._chol_base_n = 0
+        #: full train-matrix factorizations performed so far (diagnostics;
+        #: hyper-parameter search factorizations are not counted)
+        self.n_train_factorizations = 0
 
     # ------------------------------------------------------------------
     # target transforms
@@ -207,6 +242,24 @@ class GaussianProcess:
             return 1e25
         return nll
 
+    def _log_prior(self, hp: GPHyperparameters) -> float:
+        """Summed log prior density of ``hp`` (0.0 when priors are disabled)."""
+        lp = 0.0
+        if self.lengthscale_prior is not None:
+            lp += float(np.sum(self.lengthscale_prior.log_pdf(hp.lengthscales)))
+        if self.noise_prior is not None:
+            lp += float(np.sum(self.noise_prior.log_pdf(hp.noise_variance)))
+        if self.outputscale_prior is not None:
+            lp += float(np.sum(self.outputscale_prior.log_pdf(hp.outputscale)))
+        return lp
+
+    def _hyper_bounds(self) -> list[tuple[float, float]]:
+        d = self._distance.n_dimensions
+        bounds = [(math.log(1e-3), math.log(1e3))] * d
+        bounds += [(math.log(1e-3), math.log(1e3))]  # outputscale
+        bounds += [(math.log(1e-8), math.log(1.0))]  # noise variance
+        return bounds
+
     def _sample_hyperparameters(self) -> GPHyperparameters:
         d = self._distance.n_dimensions
         ls_prior = self.lengthscale_prior or GammaPrior(2.0, 2.0)
@@ -233,6 +286,8 @@ class GaussianProcess:
         rows: np.ndarray,
         targets: Sequence[float],
         distance_tensor: np.ndarray | None = None,
+        hyper_strategy: str = "sweep",
+        warm_start: np.ndarray | None = None,
     ) -> None:
         """Fit the GP on pre-encoded configuration rows.
 
@@ -240,7 +295,26 @@ class GaussianProcess:
         distance tensor incrementally (one cross block per new observation),
         passing it here skips the full pairwise recomputation.  It must be
         the ``(D, n, n)`` tensor of ``rows``.
+
+        ``hyper_strategy`` selects how the kernel hyper-parameters are found:
+
+        * ``"sweep"`` (default) — the full multistart MAP search: score
+          ``n_prior_samples`` prior draws, refine the best few with L-BFGS-B.
+          A ``warm_start`` log-vector, when given, joins the candidate pool so
+          the search never regresses below the previous optimum.  With
+          ``warm_start=None`` this path is byte-identical to the historical
+          behavior (same RNG consumption, same arithmetic).
+        * ``"warm"`` — skip the prior sweep; run a single L-BFGS-B refinement
+          seeded from ``warm_start`` (or the current hyper-parameters).
+          Consumes no RNG.
+        * ``"frozen"`` — keep the current hyper-parameters, only refactorize.
+          Used to rebuild the factor deterministically on snapshot restore.
         """
+        if hyper_strategy not in ("sweep", "warm", "frozen"):
+            raise ValueError(
+                f"unknown hyper_strategy {hyper_strategy!r}; "
+                "choose from 'sweep', 'warm', 'frozen'"
+            )
         rows = np.asarray(rows, dtype=float)
         if len(rows) != len(targets):
             raise ValueError("configurations and targets must have the same length")
@@ -258,42 +332,157 @@ class GaussianProcess:
         else:
             self._train_distance = self._distance.pairwise_rows(rows)
 
-        candidates: list[tuple[float, np.ndarray]] = []
-        for _ in range(self.n_prior_samples):
-            hp = self._sample_hyperparameters()
-            vec = hp.to_vector()
-            candidates.append((self._negative_log_posterior(vec, y), vec))
-        candidates.sort(key=lambda item: item[0])
-
-        if self.advanced_fit:
-            best_value, best_vector = candidates[0]
-            d = self._distance.n_dimensions
-            bounds = [(math.log(1e-3), math.log(1e3))] * d
-            bounds += [(math.log(1e-3), math.log(1e3))]  # outputscale
-            bounds += [(math.log(1e-8), math.log(1.0))]  # noise variance
-            for _, start in candidates[: self.n_refined_starts]:
+        if hyper_strategy == "frozen":
+            if self.hyperparameters is None:
+                raise RuntimeError("hyper_strategy='frozen' requires a previous fit")
+        elif hyper_strategy == "warm":
+            if warm_start is None:
+                if self.hyperparameters is None:
+                    raise RuntimeError(
+                        "hyper_strategy='warm' requires warm_start or a previous fit"
+                    )
+                warm_start = self.hyperparameters.to_vector()
+            start = np.asarray(warm_start, dtype=float)
+            best_value, best_vector = self._negative_log_posterior(start, y), start
+            if self.advanced_fit:
                 result = optimize.minimize(
                     self._negative_log_posterior,
                     start,
                     args=(y,),
                     method="L-BFGS-B",
-                    bounds=bounds,
+                    bounds=self._hyper_bounds(),
                     options={"maxiter": self.max_optimizer_iterations},
                 )
                 if result.fun < best_value:
                     best_value, best_vector = float(result.fun), result.x
             self.hyperparameters = GPHyperparameters.from_vector(best_vector)
         else:
-            # BaCO--: no gradient refinement, just the best prior sample.
-            self.hyperparameters = GPHyperparameters.from_vector(candidates[0][1])
+            candidates: list[tuple[float, np.ndarray]] = []
+            for _ in range(self.n_prior_samples):
+                hp = self._sample_hyperparameters()
+                vec = hp.to_vector()
+                candidates.append((self._negative_log_posterior(vec, y), vec))
+            if warm_start is not None:
+                vec = np.asarray(warm_start, dtype=float)
+                candidates.append((self._negative_log_posterior(vec, y), vec))
+            candidates.sort(key=lambda item: item[0])
+
+            if self.advanced_fit:
+                best_value, best_vector = candidates[0]
+                for _, start in candidates[: self.n_refined_starts]:
+                    result = optimize.minimize(
+                        self._negative_log_posterior,
+                        start,
+                        args=(y,),
+                        method="L-BFGS-B",
+                        bounds=self._hyper_bounds(),
+                        options={"maxiter": self.max_optimizer_iterations},
+                    )
+                    if result.fun < best_value:
+                        best_value, best_vector = float(result.fun), result.x
+                self.hyperparameters = GPHyperparameters.from_vector(best_vector)
+            else:
+                # BaCO--: no gradient refinement, just the best prior sample.
+                self.hyperparameters = GPHyperparameters.from_vector(candidates[0][1])
 
         k = self._kernel_matrix(self._train_distance, self.hyperparameters, noise=True)
         self._cholesky = linalg.cholesky(k, lower=True)
         self._alpha = linalg.cho_solve((self._cholesky, True), y)
+        self._train_y = y
+        self._chol_n = self._chol_base_n = len(rows)
+        self.n_train_factorizations += 1
 
     @property
     def is_fitted(self) -> bool:
         return self._alpha is not None
+
+    # ------------------------------------------------------------------
+    # incremental refit
+    # ------------------------------------------------------------------
+    def extend_cholesky(self, rows: np.ndarray, distance_tensor: np.ndarray) -> bool:
+        """Grow the cached Cholesky factor to cover ``rows`` without refactorizing.
+
+        ``rows`` is the *full* ``(m, width)`` training matrix and
+        ``distance_tensor`` the full ``(D, m, m)`` tensor (typically the views
+        of an :class:`~repro.models.distances.IncrementalDistanceTensor`); the
+        cached factor currently covers the first ``self._chol_n`` rows and is
+        extended one row at a time:
+
+        .. math::
+
+            b = L^{-1} k_{1:i},\\qquad
+            \\ell_{ii} = \\sqrt{k_{ii} + \\sigma_n^2 + \\epsilon - b^\\top b}
+
+        an O(i²) triangular solve per row instead of an O(m³)
+        refactorization.  Valid exactly when the hyper-parameters are
+        unchanged since the factor was built.  Returns ``True`` when every
+        row was added incrementally; if a pivot goes non-positive (the
+        extension is numerically unsafe) the method falls back to one full
+        refactorization of the whole tensor and returns ``False``.
+
+        Invalidates ``alpha`` — call :meth:`refit_targets` afterwards.
+        """
+        if self._cholesky is None or self.hyperparameters is None:
+            raise RuntimeError("extend_cholesky() requires a previous fit")
+        rows = np.asarray(rows, dtype=float)
+        distance_tensor = np.asarray(distance_tensor, dtype=float)
+        m = len(rows)
+        if m < self._chol_n:
+            raise ValueError(
+                f"got {m} rows but the cached factor already covers {self._chol_n}"
+            )
+        expected = (self._distance.n_dimensions, m, m)
+        if distance_tensor.shape != expected:
+            raise ValueError(
+                f"distance tensor has shape {distance_tensor.shape}, expected {expected}"
+            )
+        hp = self.hyperparameters
+        diag = hp.outputscale + (hp.noise_variance + _JITTER)
+        L = self._cholesky
+        extended = True
+        for i in range(self._chol_n, m):
+            k_vec = self._kernel(distance_tensor[:, i, :i], hp.lengthscales, hp.outputscale)
+            b = linalg.solve_triangular(L, k_vec, lower=True)
+            pivot = diag - float(b @ b)
+            if pivot <= 0.0:
+                extended = False
+                break
+            grown = np.zeros((i + 1, i + 1))
+            grown[:i, :i] = L
+            grown[i, :i] = b
+            grown[i, i] = math.sqrt(pivot)
+            L = grown
+        if extended:
+            self._cholesky = L
+            self._chol_n = m
+        else:
+            k = self._kernel_matrix(distance_tensor, hp, noise=True)
+            self._cholesky = linalg.cholesky(k, lower=True)
+            self._chol_n = self._chol_base_n = m
+            self.n_train_factorizations += 1
+        self._train_rows = rows
+        self._train_distance = distance_tensor
+        self._alpha = None
+        self._train_y = None
+        return extended
+
+    def refit_targets(self, targets: Sequence[float]) -> None:
+        """Recompute the target transform and ``alpha`` against the cached factor.
+
+        The kernel matrix is independent of the targets, so after
+        :meth:`extend_cholesky` this completes an incremental refit in O(n²)
+        — no kernel evaluation, no factorization.
+        """
+        if self._cholesky is None:
+            raise RuntimeError("refit_targets() requires a previous fit")
+        targets = np.asarray(targets, dtype=float)
+        if len(targets) != self._chol_n:
+            raise ValueError(
+                f"got {len(targets)} targets for a factor covering {self._chol_n} rows"
+            )
+        y = self._transform_targets(targets)
+        self._train_y = y
+        self._alpha = linalg.cho_solve((self._cholesky, True), y)
 
     # ------------------------------------------------------------------
     # prediction
@@ -344,12 +533,23 @@ class GaussianProcess:
         raw_std = np.abs(raw_mean) * np.sqrt(var) * self._y_std if self.log_transform_output else np.sqrt(var) * self._y_std
         return raw_mean, raw_std**2
 
-    def log_marginal_likelihood(self) -> float:
-        """Log marginal likelihood of the fitted model (for diagnostics)."""
+    def log_likelihood(self) -> float:
+        """Log posterior density of the fitted model (for diagnostics).
+
+        Pure readback of the cached ``_cholesky`` / ``_alpha`` / targets —
+        no kernel rebuild and no refactorization.  (The pre-fix
+        implementation reconstructed the targets as ``alpha @ K`` and then
+        refactorized the full train matrix on every call.)
+        """
         if not self.is_fitted:
             raise RuntimeError("model is not fitted")
-        y = self._alpha @ self._kernel_matrix(
-            self._train_distance, self.hyperparameters, noise=True
-        )
-        nll = self._negative_log_posterior(self.hyperparameters.to_vector(), y)
-        return -nll
+        y = self._train_y
+        ll = -0.5 * float(y @ self._alpha)
+        ll -= float(np.sum(np.log(np.diag(self._cholesky))))
+        ll -= 0.5 * len(y) * math.log(2.0 * math.pi)
+        ll += self._log_prior(self.hyperparameters)
+        return ll
+
+    def log_marginal_likelihood(self) -> float:
+        """Backwards-compatible alias for :meth:`log_likelihood`."""
+        return self.log_likelihood()

@@ -26,9 +26,14 @@ __all__ = ["matern52", "rbf", "scaled_distance", "KERNELS"]
 def scaled_distance(distance_tensor: np.ndarray, lengthscales: np.ndarray) -> np.ndarray:
     """Combine per-dimension distances into the weighted Euclidean norm of Eq. (2).
 
-    ``distance_tensor`` has shape ``(D, n, m)``; ``lengthscales`` has shape ``(D,)``.
+    ``distance_tensor`` has shape ``(D, n, m)`` (pairwise matrices) or
+    ``(D, n)`` (a single cross column, e.g. one new observation against the
+    training set during a rank-1 Cholesky extension); ``lengthscales`` has
+    shape ``(D,)``.  The leading dimension is always the parameter axis.
     """
-    lengthscales = np.asarray(lengthscales, dtype=float).reshape(-1, 1, 1)
+    distance_tensor = np.asarray(distance_tensor, dtype=float)
+    lengthscales = np.asarray(lengthscales, dtype=float)
+    lengthscales = lengthscales.reshape(-1, *([1] * (distance_tensor.ndim - 1)))
     if distance_tensor.shape[0] != lengthscales.shape[0]:
         raise ValueError(
             f"distance tensor has {distance_tensor.shape[0]} dimensions but "
@@ -41,7 +46,7 @@ def scaled_distance(distance_tensor: np.ndarray, lengthscales: np.ndarray) -> np
 def matern52(
     distance_tensor: np.ndarray, lengthscales: np.ndarray, outputscale: float = 1.0
 ) -> np.ndarray:
-    """Matérn-5/2 kernel matrix from a per-dimension distance tensor."""
+    """Matérn-5/2 kernel matrix (or cross vector) from a distance tensor."""
     d = scaled_distance(distance_tensor, lengthscales)
     sqrt5_d = np.sqrt(5.0) * d
     return outputscale * (1.0 + sqrt5_d + (5.0 / 3.0) * d**2) * np.exp(-sqrt5_d)

@@ -467,12 +467,16 @@ class SessionRegistry:
             raise ValueError("start needs a 'benchmark' name")
         if "budget" not in request:
             raise ValueError("start needs an integer 'budget'")
+        surrogate_policy = request.get("surrogate_policy")
+        if surrogate_policy is not None and not isinstance(surrogate_policy, str):
+            raise ValueError("'surrogate_policy' must be a policy spec string")
         session, benchmark = make_session(
             str(request["benchmark"]),
             str(request.get("tuner", "BaCO")),
             int(request["budget"]),
             int(request.get("seed", 0)),
             fidelity=str(request.get("fidelity", "fast")),
+            surrogate_policy=surrogate_policy,
         )
         if force:
             path = self._autosave_path(name)

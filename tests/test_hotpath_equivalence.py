@@ -344,3 +344,150 @@ class TestTcpServiceBitCompatibility:
                 thread.join()
         assert not errors, errors
         assert got["trace"] == expected
+
+
+class TestFastPolicyCheckpointBitCompatibility:
+    """Satellite guarantee for the fast surrogate policy: the incremental
+    refit state (warm-started hyper-parameters, Cholesky coverage, refit
+    cadence counters) snapshots and restores *exactly*.  A run interrupted at
+    iteration k and resumed — in-process, in a fresh interpreter, or over
+    TCP — finishes bit-identical to the uninterrupted run, for every policy
+    shape including the GP-to-RF budget switch."""
+
+    BENCHMARK = "hpvm_bfs"
+    BUDGET = 18
+    INTERRUPT_AT = 7
+    POLICIES = ("fast", "fast,refit_every=3,sweep_every=10", "fast,rf_at=8")
+
+    def _expected_trace(self, policy):
+        from repro.experiments.runner import make_tuner
+        from repro.workloads.registry import get_benchmark
+
+        bench = get_benchmark(self.BENCHMARK)
+        history = make_tuner(
+            "BaCO", bench.space, seed=17, surrogate_policy=policy
+        ).tune(bench.evaluator, self.BUDGET, benchmark_name=bench.name)
+        expected = history.to_dict()
+        expected.pop("tuner_seconds", None)
+        expected.pop("evaluation_seconds", None)
+        return bench, expected
+
+    def _partial_session(self, bench, policy):
+        from repro.experiments.runner import make_session
+
+        session, _ = make_session(
+            self.BENCHMARK, "BaCO", self.BUDGET, 17, surrogate_policy=policy
+        )
+        while len(session.history) < self.INTERRUPT_AT:
+            [suggestion] = session.ask(1)
+            session.tell(suggestion, bench.evaluator(suggestion.configuration))
+        return session
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_in_process_resume_identical(self, policy):
+        from repro.core.session import drive
+        from repro.experiments.runner import restore_session
+
+        bench, expected = self._expected_trace(policy)
+        session = self._partial_session(bench, policy)
+        # the JSON round-trip is part of the contract: every float in the
+        # policy state must survive serialization bit-exactly
+        payload = json.loads(json.dumps(session.snapshot()))
+        del session
+
+        resumed, _ = restore_session(payload)
+        history = drive(resumed, bench.evaluator)
+        got = history.to_dict()
+        got.pop("tuner_seconds", None)
+        got.pop("evaluation_seconds", None)
+        assert got == expected
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_fresh_process_resume_identical(self, policy, tmp_path):
+        from repro.experiments.runner import save_session
+
+        bench, expected = self._expected_trace(policy)
+        session = self._partial_session(bench, policy)
+        checkpoint = tmp_path / "session.ckpt.json"
+        save_session(session, checkpoint)
+        del session
+
+        out = tmp_path / "resumed_history.json"
+        proc = subprocess.run(
+            [sys.executable, "-c", _RESUME_SCRIPT, str(checkpoint), str(out)],
+            capture_output=True,
+            text=True,
+            env={
+                **os.environ,
+                "PYTHONPATH": str(Path(__file__).resolve().parents[1] / "src"),
+            },
+        )
+        assert proc.returncode == 0, proc.stderr
+        resumed = json.loads(out.read_text())
+        assert resumed == expected
+
+    def test_tcp_trace_matches_in_process(self):
+        import threading
+
+        from repro.client import TuningClient
+        from repro.server import running_server
+        from repro.service import SessionRegistry
+
+        policy = "fast,refit_every=3,sweep_every=10"
+        bench, expected = self._expected_trace(policy)
+
+        registry = SessionRegistry(max_sessions=2)
+        errors: list[BaseException] = []
+        got: dict[str, list] = {}
+
+        def client_thread(port):
+            try:
+                with TuningClient(port=port, session="fast-policy") as client:
+                    client.start(
+                        benchmark=self.BENCHMARK, tuner="BaCO",
+                        budget=self.BUDGET, seed=17, surrogate_policy=policy,
+                    )
+                    client.drive(bench.evaluator)
+                    snapshot = client.snapshot()["snapshot"]
+                    got["trace"] = snapshot["history"]["evaluations"]
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        with running_server(registry) as server:
+            thread = threading.Thread(target=client_thread, args=(server.port,))
+            thread.start()
+            thread.join()
+        assert not errors, errors
+        assert got["trace"] == expected["evaluations"]
+
+    def test_snapshot_records_policy_state(self):
+        from repro.workloads.registry import get_benchmark
+
+        bench = get_benchmark(self.BENCHMARK)
+        session = self._partial_session(bench, "fast,refit_every=3,sweep_every=10")
+        state = session.snapshot()["tuner_state"]["surrogate_policy"]
+        assert state["spec"] == "fast,refit_every=3,sweep_every=10"
+        assert state["hypers"] is not None
+        assert state["chol_base_n"] >= 2
+        assert state["last_sweep_n"] >= 2
+
+        # exact-mode snapshots must not grow the key (committed bit-compat
+        # fixtures predate the policy and must keep matching byte-for-byte)
+        exact = self._partial_session(bench, None)
+        assert "surrogate_policy" not in exact.snapshot()["tuner_state"]
+
+    def test_service_rejects_bad_policy_specs(self):
+        from repro.service import SessionRegistry
+
+        registry = SessionRegistry(max_sessions=2)
+        base = {
+            "op": "start", "session": "s", "benchmark": self.BENCHMARK,
+            "tuner": "BaCO", "budget": 4, "seed": 0,
+        }
+        for bad in ("fast,warp=9", "turbo", 7, ["fast"]):
+            response = registry.handle({**base, "surrogate_policy": bad})
+            assert not response["ok"], bad
+            assert "surrogate_policy" in response["error"] or "policy" in response["error"]
+        # and the valid spec still starts
+        response = registry.handle({**base, "surrogate_policy": "fast"})
+        assert response["ok"], response
