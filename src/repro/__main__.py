@@ -252,6 +252,15 @@ def _cmd_tune(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
+        if args.propagate:
+            # same contract: the sampling mode changes the RNG stream and is
+            # recorded in (and restored from) the checkpoint metadata
+            print(
+                "error: --propagate cannot be combined with --resume "
+                "(the checkpoint already records the sampling mode)",
+                file=sys.stderr,
+            )
+            return 2
         session, benchmark = load_session(checkpoint)
         if not args.quiet:
             print(
@@ -271,6 +280,7 @@ def _cmd_tune(args: argparse.Namespace) -> int:
             args.benchmark, args.tuner, budget, args.seed or 0,
             fidelity=args.fidelity or "fast",
             surrogate_policy=args.surrogate_policy,
+            propagate=args.propagate,
         )
 
     stop_after = args.stop_after
@@ -515,9 +525,16 @@ def main(argv: list[str] | None = None) -> int:
         "--surrogate-policy", default=None, metavar="SPEC",
         help="surrogate refit policy for BaCO-family tuners: 'exact' (default, "
              "bit-compatible full refit per iteration) or 'fast[,refit_every=N]"
-             "[,sweep_every=N][,rf_at=N]' (incremental Cholesky updates, "
-             "warm-started hyperparameters, optional GP→RF switch); "
+             "[,sweep_every=N][,rf_at=N|auto]' (incremental Cholesky updates, "
+             "warm-started hyperparameters, optional GP→RF switch — 'auto' "
+             "switches when the measured GP fit time overtakes an RF probe); "
              "incompatible with --resume",
+    )
+    tune_parser.add_argument(
+        "--propagate", action="store_true",
+        help="sample candidates from constraint-propagation pruned domains "
+             "(SearchSpace.with_propagation); changes the RNG stream, so "
+             "off by default and incompatible with --resume",
     )
     tune_parser.add_argument(
         "--eval-workers", type=int, default=None,

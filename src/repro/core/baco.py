@@ -25,6 +25,7 @@ threshold, and the surrogate family (GP vs. RF).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Any, Mapping
 
@@ -52,6 +53,25 @@ from .tuner import Tuner
 
 __all__ = ["BacoSettings", "BacoTuner", "SurrogatePolicy"]
 
+#: smoothing of the measured per-fit GP wall-clock for ``rf_at=auto``
+_AUTO_RF_EMA_ALPHA = 0.3
+#: the GP fit EMA must exceed the RF probe by this factor before switching —
+#: a margin, not equality, so one slow fit (GC pause, cold cache) can't flip
+#: the surrogate while the GP is still genuinely cheaper on average
+_AUTO_RF_MARGIN = 2.0
+#: never switch before this many feasible observations: tiny-n timings are
+#: all constant overhead and the GP's sample efficiency matters most early
+_AUTO_RF_MIN_OBSERVATIONS = 16
+
+#: pristine ``rf_at=auto`` measurement state: GP fit-time EMA, last RF probe
+#: wall-clock, the n it was probed at, and the n the one-way latch engaged at
+_AUTO_RF_STATE_EMPTY: dict[str, Any] = {
+    "gp_ema": None,
+    "rf_probe": None,
+    "probe_n": None,
+    "active_from": None,
+}
+
 
 @dataclass(frozen=True)
 class SurrogatePolicy:
@@ -75,15 +95,28 @@ class SurrogatePolicy:
       budget-adaptive switch for long runs where even incremental GP
       algebra grows quadratically.
 
+    ``rf_at=auto`` replaces the fixed count with a *measured* switch: the
+    tuner keeps an exponential moving average of the per-iteration GP fit
+    wall-clock and periodically times an RF fit on the same data; once the
+    GP EMA exceeds the RF probe by a safety margin the surrogate switches
+    to RF and latches there (one-way — flip-flopping would discard the
+    GP's incremental Cholesky state on every flip and make the trajectory
+    timing-dependent in both directions).  The switch point depends on the
+    host's timings, so ``auto`` runs are *not* bit-reproducible across
+    machines; checkpoints record the latch so a resumed run stays in the
+    regime it left off in.
+
     Spec strings round-trip through :meth:`parse` / :meth:`spec`:
-    ``"exact"``, ``"fast"``, or
-    ``"fast,refit_every=8,sweep_every=40,rf_at=256"``.
+    ``"exact"``, ``"fast"``,
+    ``"fast,refit_every=8,sweep_every=40,rf_at=256"``, or
+    ``"fast,rf_at=auto"``.
     """
 
     mode: str = "exact"
     refit_hypers_every: int = 8
     sweep_every: int = 40
     rf_threshold: int | None = None
+    rf_auto: bool = False
 
     def __post_init__(self) -> None:
         if self.mode not in ("exact", "fast"):
@@ -94,6 +127,8 @@ class SurrogatePolicy:
             raise ValueError("sweep_every must be >= 1")
         if self.rf_threshold is not None and self.rf_threshold < 2:
             raise ValueError("rf_threshold must be >= 2")
+        if self.rf_auto and self.rf_threshold is not None:
+            raise ValueError("rf_at cannot be both a fixed count and 'auto'")
 
     @classmethod
     def parse(cls, spec: "str | SurrogatePolicy | None") -> "SurrogatePolicy":
@@ -114,8 +149,9 @@ class SurrogatePolicy:
             raise ValueError(
                 f"unknown surrogate policy {mode!r}; expected 'exact' or 'fast'"
             )
-        kwargs: dict[str, int] = {}
+        kwargs: dict[str, Any] = {}
         keys = {"refit_every": "refit_hypers_every", "sweep_every": "sweep_every", "rf_at": "rf_threshold"}
+        seen: set[str] = set()
         for option in options:
             if "=" not in option:
                 raise ValueError(f"malformed policy option {option!r} (expected key=value)")
@@ -125,12 +161,19 @@ class SurrogatePolicy:
                 raise ValueError(
                     f"unknown policy option {key.strip()!r}; expected one of {sorted(keys)}"
                 )
-            if field in kwargs:
+            if field in seen:
                 raise ValueError(f"duplicate policy option {key.strip()!r}")
+            seen.add(field)
+            if field == "rf_threshold" and value.strip() == "auto":
+                kwargs["rf_auto"] = True
+                continue
             try:
                 kwargs[field] = int(value)
             except ValueError:
-                raise ValueError(f"policy option {key.strip()!r} must be an integer") from None
+                raise ValueError(
+                    f"policy option {key.strip()!r} must be an integer"
+                    + (" or 'auto'" if field == "rf_threshold" else "")
+                ) from None
         return cls(mode="fast", **kwargs)
 
     def spec(self) -> str:
@@ -140,10 +183,17 @@ class SurrogatePolicy:
         spec = f"fast,refit_every={self.refit_hypers_every},sweep_every={self.sweep_every}"
         if self.rf_threshold is not None:
             spec += f",rf_at={self.rf_threshold}"
+        if self.rf_auto:
+            spec += ",rf_at=auto"
         return spec
 
     def surrogate_for(self, n_train: int) -> str:
-        """``"gp"`` or ``"rf"`` for a training set of ``n_train`` rows."""
+        """``"gp"`` or ``"rf"`` for a training set of ``n_train`` rows.
+
+        Only resolves the *fixed-count* switch; the measured ``rf_at=auto``
+        decision needs the tuner's timing state and lives in
+        :meth:`BacoTuner._auto_rf_active`.
+        """
         if self.mode == "fast" and self.rf_threshold is not None and n_train >= self.rf_threshold:
             return "rf"
         return "gp"
@@ -214,6 +264,11 @@ class BacoSettings:
     rf_trees: int = 32
     #: surrogate refit policy spec ("exact" default; see :class:`SurrogatePolicy`)
     surrogate_policy: str = "exact"
+    #: draw candidates from constraint-propagation pruned domains
+    #: (:meth:`SearchSpace.with_propagation`).  Opt-in: pruning changes the
+    #: sampler's RNG stream, so the default keeps every committed trajectory
+    #: bit-identical; feasibility semantics are unchanged either way.
+    constraint_propagation: bool = False
 
     def __post_init__(self) -> None:
         if self.surrogate not in ("gp", "rf"):
@@ -243,8 +298,15 @@ class BacoTuner(Tuner):
         settings: BacoSettings | None = None,
         seed: int | None = None,
     ) -> None:
+        settings = settings or BacoSettings()
+        if settings.constraint_propagation:
+            # swap in the propagating clone before anything captures a
+            # reference: self.space, the feasibility model, and the encoder
+            # all see the same object (the clone shares parameters,
+            # constraints, trees, and encoder with the original)
+            space = space.with_propagation()
         super().__init__(space, seed=seed)
-        self.settings = settings or BacoSettings()
+        self.settings = settings
         self._model_space = self._prepare_model_space(space, self.settings)
         self._feasibility = FeasibilityModel(
             space, n_trees=self.settings.feasibility_trees, rng=self._rng
@@ -275,6 +337,7 @@ class BacoTuner(Tuner):
             "last_refit_n": 0,
             "hypers": None,
         }
+        self._auto_rf_state: dict[str, Any] = dict(_AUTO_RF_STATE_EMPTY)
         self._restored_chol_base_n = 0
 
     # ------------------------------------------------------------------
@@ -318,6 +381,7 @@ class BacoTuner(Tuner):
         self._policy = SurrogatePolicy.parse(policy)
         self._fast_gp = None
         self._policy_state = {"last_sweep_n": 0, "last_refit_n": 0, "hypers": None}
+        self._auto_rf_state = dict(_AUTO_RF_STATE_EMPTY)
         self._restored_chol_base_n = 0
 
     @property
@@ -417,6 +481,8 @@ class BacoTuner(Tuner):
             # budget-adaptive switch: past the policy threshold the GP's
             # (even incremental) quadratic algebra loses to the RF surrogate
             surrogate_kind = self._policy.surrogate_for(len(values))
+            if surrogate_kind == "gp" and self._auto_rf_active(values):
+                surrogate_kind = "rf"
         if surrogate_kind == "rf":
             acquisition = self._fit_rf_acquisition(self._make_surrogate("rf"), values)
         else:
@@ -465,6 +531,47 @@ class BacoTuner(Tuner):
             chosen.append(self._random_fallback(taken))
         return chosen
 
+    def _auto_rf_active(self, values: list[float]) -> bool:
+        """Decide (and latch) the measured GP→RF switch for ``rf_at=auto``.
+
+        Compares the GP fit-time EMA (maintained by :meth:`_fit_fast_gp`)
+        against a periodically refreshed RF fit probe on the *same* training
+        data.  The probe runs on its own fixed-seed generator so it never
+        consumes the tuner's RNG stream — before the latch engages, an
+        ``auto`` run's trajectory is identical to plain ``fast``.  Once the
+        GP EMA exceeds the probe by :data:`_AUTO_RF_MARGIN` the switch
+        engages permanently (see :class:`SurrogatePolicy` for why one-way).
+        """
+        if self._policy.mode != "fast" or not self._policy.rf_auto:
+            return False
+        st = self._auto_rf_state
+        if st["active_from"] is not None:
+            return True
+        n = len(values)
+        if n < _AUTO_RF_MIN_OBSERVATIONS or st["gp_ema"] is None:
+            return False
+        if st["probe_n"] is None or n - st["probe_n"] >= self._policy.refit_hypers_every:
+            # re-probe as n grows: RF fitting slows down too (O(n log n)),
+            # so a stale probe would overstate the benefit of switching
+            probe = RandomForestRegressor(
+                n_trees=self.settings.rf_trees, rng=np.random.default_rng(n)
+            )
+            targets = (
+                np.log(values)
+                if self.settings.use_transformations
+                else np.asarray(values, dtype=float)
+            )
+            features = np.vstack(self._space_rows_feasible)
+            start = time.perf_counter()
+            probe.fit(features, targets)
+            st["rf_probe"] = float(time.perf_counter() - start)
+            st["probe_n"] = n
+        if st["gp_ema"] > _AUTO_RF_MARGIN * st["rf_probe"]:
+            st["active_from"] = n
+            self._fast_gp = None  # the incremental GP state is dead weight now
+            return True
+        return False
+
     def _fit_fast_gp(self, values: list[float]) -> GaussianProcess | None:
         """Refit the persistent fast-policy GP, incrementally when possible.
 
@@ -485,6 +592,7 @@ class BacoTuner(Tuner):
             strategy = "sweep"
         else:
             strategy = self._policy.fit_strategy(n, st["last_sweep_n"], st["last_refit_n"])
+        fit_start = time.perf_counter()
         try:
             if strategy == "frozen":
                 if gp._chol_n < n:
@@ -512,6 +620,17 @@ class BacoTuner(Tuner):
         except (ValueError, np.linalg.LinAlgError):
             self._fast_gp = None
             return None
+        if self._policy.rf_auto:
+            # EMA over *all* strategies: what auto compares against the RF
+            # probe is the average per-iteration cost the GP actually incurs
+            # (mostly frozen extensions, occasionally a sweep)
+            elapsed = float(time.perf_counter() - fit_start)
+            ema = self._auto_rf_state["gp_ema"]
+            self._auto_rf_state["gp_ema"] = (
+                elapsed
+                if ema is None
+                else (1.0 - _AUTO_RF_EMA_ALPHA) * ema + _AUTO_RF_EMA_ALPHA * elapsed
+            )
         self._fast_gp = gp
         return gp
 
@@ -527,6 +646,10 @@ class BacoTuner(Tuner):
             payload["chol_base_n"] = (
                 gp._chol_base_n if gp is not None and gp.hyperparameters is not None else 0
             )
+            if self._policy.rf_auto:
+                # only auto mode carries timing state; plain fast snapshots
+                # keep their historical key set
+                payload["auto_rf"] = dict(self._auto_rf_state)
             state["surrogate_policy"] = payload
         return state
 
@@ -543,6 +666,12 @@ class BacoTuner(Tuner):
                 "hypers": payload.get("hypers"),
             }
             self._restored_chol_base_n = int(payload.get("chol_base_n", 0))
+            self._auto_rf_state = dict(_AUTO_RF_STATE_EMPTY)
+            auto = payload.get("auto_rf")
+            if isinstance(auto, Mapping):
+                for key in self._auto_rf_state:
+                    if auto.get(key) is not None:
+                        self._auto_rf_state[key] = auto[key]
 
     def _post_restore(self) -> None:
         """Rebuild the fast-policy GP so a resumed run replays bit-exactly.
@@ -555,6 +684,11 @@ class BacoTuner(Tuner):
         the same per-row arithmetic the original run performed.
         """
         if self._policy.mode == "exact":
+            return
+        if self._auto_rf_state["active_from"] is not None:
+            # the auto latch engaged before the snapshot: the run is on the
+            # RF surrogate for good, so there is no GP factor to rebuild
+            self._fast_gp = None
             return
         st = self._policy_state
         hypers = st.get("hypers")

@@ -36,6 +36,8 @@ from typing import Any, Iterable, Sequence
 
 import numpy as np
 
+from .constraints import Domain
+
 __all__ = [
     "Parameter",
     "NumericParameter",
@@ -79,6 +81,31 @@ class Parameter(ABC):
         column = np.empty(n, dtype=object)
         column[:] = [self.sample(rng) for _ in range(n)]
         return column
+
+    def propagation_domain(self) -> Domain | None:
+        """Initial :class:`Domain` for constraint propagation, or ``None``.
+
+        ``None`` opts the parameter out of domain pruning (permutations: the
+        value space has no useful set/interval shape); such parameters are
+        always sampled unrestricted and left to rejection filtering.
+        """
+        return None
+
+    def sample_batch_from(
+        self, rng: np.random.Generator, n: int, domain: Domain | None
+    ) -> Any:
+        """Like :meth:`sample_batch`, but restricted to ``domain``.
+
+        Sampling is uniform over the restricted domain, with the same column
+        dtype as :meth:`sample_batch`.  Passing ``None`` means unrestricted.
+        The RNG consumption differs from :meth:`sample_batch` in general, so
+        callers must only use this on the opt-in propagation path.
+        """
+        if domain is None:
+            return self.sample_batch(rng, n)
+        raise TypeError(
+            f"{type(self).__name__} does not support domain-restricted sampling"
+        )
 
     @abstractmethod
     def contains(self, value: Any) -> bool:
@@ -181,6 +208,27 @@ class RealParameter(NumericParameter):
             return np.exp(rng.uniform(math.log(self.low), math.log(self.high), size=n))
         return rng.uniform(self.low, self.high, size=n)
 
+    def propagation_domain(self) -> Domain:
+        return Domain.interval(self.low, self.high)
+
+    def sample_batch_from(
+        self, rng: np.random.Generator, n: int, domain: Domain | None
+    ) -> np.ndarray:
+        if domain is None:
+            return self.sample_batch(rng, n)
+        low = max(self.low, domain.low)
+        high = min(self.high, domain.high)
+        if not low <= high:
+            raise ValueError(
+                f"empty propagated domain for real parameter {self.name!r}"
+            )
+        # a truncated uniform (or truncated log-uniform) is again uniform on
+        # the sub-interval, so pruning preserves the sampling distribution
+        # conditioned on feasibility
+        if self.transform == "log":
+            return np.exp(rng.uniform(math.log(low), math.log(high), size=n))
+        return rng.uniform(low, high, size=n)
+
     def contains(self, value: Any) -> bool:
         try:
             v = float(value)
@@ -232,6 +280,34 @@ class IntegerParameter(NumericParameter):
 
     def sample_batch(self, rng: np.random.Generator, n: int) -> np.ndarray:
         return rng.integers(self.low, self.high + 1, size=n).astype(float)
+
+    #: ranges wider than this propagate as intervals instead of value sets
+    ENUMERATION_CAP = 4096
+
+    def propagation_domain(self) -> Domain:
+        if self.cardinality() <= self.ENUMERATION_CAP:
+            return Domain.discrete(range(self.low, self.high + 1))
+        return Domain.interval(self.low, self.high)
+
+    def sample_batch_from(
+        self, rng: np.random.Generator, n: int, domain: Domain | None
+    ) -> np.ndarray:
+        if domain is None:
+            return self.sample_batch(rng, n)
+        if domain.kind == "discrete":
+            if not domain.values:
+                raise ValueError(
+                    f"empty propagated domain for integer parameter {self.name!r}"
+                )
+            table = np.asarray(domain.values, dtype=float)
+            return table[rng.integers(len(table), size=n)]
+        low = max(self.low, math.ceil(domain.low))
+        high = min(self.high, math.floor(domain.high))
+        if low > high:
+            raise ValueError(
+                f"empty propagated domain for integer parameter {self.name!r}"
+            )
+        return rng.integers(low, high + 1, size=n).astype(float)
 
     def contains(self, value: Any) -> bool:
         try:
@@ -302,6 +378,21 @@ class OrdinalParameter(NumericParameter):
         table = np.asarray([float(v) for v in self.values], dtype=float)
         return table[rng.integers(len(self.values), size=n)]
 
+    def propagation_domain(self) -> Domain:
+        return Domain.discrete(self.values)
+
+    def sample_batch_from(
+        self, rng: np.random.Generator, n: int, domain: Domain | None
+    ) -> np.ndarray:
+        if domain is None:
+            return self.sample_batch(rng, n)
+        if not domain.values:
+            raise ValueError(
+                f"empty propagated domain for ordinal parameter {self.name!r}"
+            )
+        table = np.asarray([float(v) for v in domain.values], dtype=float)
+        return table[rng.integers(len(table), size=n)]
+
     def contains(self, value: Any) -> bool:
         try:
             return self.canonical(value) in self._index
@@ -357,6 +448,22 @@ class CategoricalParameter(Parameter):
         table = np.empty(len(self.values), dtype=object)
         table[:] = self.values
         return table[rng.integers(len(self.values), size=n)]
+
+    def propagation_domain(self) -> Domain:
+        return Domain.discrete(self.values)
+
+    def sample_batch_from(
+        self, rng: np.random.Generator, n: int, domain: Domain | None
+    ) -> np.ndarray:
+        if domain is None:
+            return self.sample_batch(rng, n)
+        if not domain.values:
+            raise ValueError(
+                f"empty propagated domain for categorical parameter {self.name!r}"
+            )
+        table = np.empty(len(domain.values), dtype=object)
+        table[:] = list(domain.values)
+        return table[rng.integers(len(table), size=n)]
 
     def contains(self, value: Any) -> bool:
         return value in self._index

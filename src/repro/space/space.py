@@ -23,7 +23,14 @@ from typing import Any, Callable, Iterable, Mapping, Sequence
 import numpy as np
 
 from .chain_of_trees import ChainOfTrees, FeasibleSetTooLarge, Tree
-from .constraints import Constraint, compile_column_evaluator, group_codependent
+from .constraints import (
+    Constraint,
+    Domain,
+    compile_column_evaluator,
+    compile_domain_reducer,
+    group_codependent,
+    propagate_domains,
+)
 from .encoding import ConfigEncoder
 from .parameters import Parameter, PermutationParameter
 
@@ -50,6 +57,7 @@ class SearchSpace:
         constraints: Sequence[Constraint] = (),
         build_chain_of_trees: bool = True,
         max_cot_nodes: int = 2_000_000,
+        propagate: bool = False,
     ) -> None:
         names = [p.name for p in parameters]
         if len(names) != len(set(names)):
@@ -64,14 +72,25 @@ class SearchSpace:
                 raise ValueError(
                     f"constraint {constraint.name!r} references unknown parameters {sorted(unknown)}"
                 )
+        #: opt-in constraint propagation (domain pruning before sampling).
+        #: Default off: the propagated draw consumes the RNG differently, and
+        #: the default path must stay bit-compatible with committed
+        #: trajectories.  Feasibility *semantics* are identical either way —
+        #: pruning only removes values that can never appear in a feasible
+        #: configuration, and the rejection filter still runs last.
+        self.propagate = bool(propagate)
+        #: per-sample_rows diagnostics (acceptance rate, rounds, breakdowns),
+        #: refreshed by every call — also embedded in rejection-failure errors
+        self.last_sample_stats: dict[str, Any] | None = None
         self.chain_of_trees: ChainOfTrees | None = None
         #: constraints not captured by the CoT (evaluated explicitly)
         self._residual_constraints: list[Constraint] = list(self.constraints)
         if build_chain_of_trees and self.constraints:
             self._build_chain_of_trees(max_cot_nodes)
         #: lazily built vectorized-path caches (compiled constraint closures,
-        #: per-tree encoded leaf matrices).  Kept in one dict so pickling can
-        #: drop them — they are rebuilt on demand after unpickling.
+        #: per-tree encoded leaf matrices, pruned free-parameter domains).
+        #: Kept in one dict so pickling can drop them — they are rebuilt on
+        #: demand after unpickling.
         self._vector_caches: dict[str, Any] = {}
 
     def __getstate__(self) -> dict[str, Any]:
@@ -81,6 +100,55 @@ class SearchSpace:
         # not; `encoder` itself is cheap to rebuild so drop it alongside
         state.pop("encoder", None)
         return state
+
+    def with_propagation(self, propagate: bool = True) -> "SearchSpace":
+        """A view of this space with constraint propagation toggled.
+
+        Shares parameters, constraints, the chain of trees, and the encoder
+        with the original (benchmark spaces are process-wide singletons via an
+        ``lru_cache``, so mutating them in place would leak the toggle across
+        unrelated tuners); only the propagation flag and the lazily built
+        vector caches are private to the view.
+        """
+        if bool(propagate) == self.propagate:
+            return self
+        self.encoder  # materialize the cached_property so the view shares it
+        clone = object.__new__(type(self))
+        clone.__dict__.update(self.__dict__)
+        clone.propagate = bool(propagate)
+        clone._vector_caches = {}
+        clone.last_sample_stats = None
+        return clone
+
+    def _pruned_free_domains(self) -> tuple[dict[str, Domain], int]:
+        """Arc-consistent domains for the free (non-tree) parameters, cached.
+
+        Residual constraints can only reference free parameters — the
+        co-dependency grouping is transitively closed and tree capture is
+        all-or-nothing per group — so one global fixed point (no prefix)
+        covers every ``sample_rows`` batch; per-node propagation lives in the
+        :class:`~repro.space.chain_of_trees.Tree` builder instead.
+        """
+        cached = self._vector_caches.get("pruned_free_domains")
+        if cached is None:
+            covered = self._covered_names()
+            initial = {
+                p.name: dom
+                for p in self.parameters
+                if p.name not in covered and (dom := p.propagation_domain()) is not None
+            }
+            reducers = [
+                reducer
+                for c in self._residual_constraints
+                if (reducer := compile_domain_reducer(c)) is not None
+            ]
+            if initial and reducers:
+                domains, rounds = propagate_domains(reducers, initial, {})
+            else:
+                domains, rounds = initial, 0
+            cached = (domains, rounds)
+            self._vector_caches["pruned_free_domains"] = cached
+        return cached
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -101,7 +169,14 @@ class SearchSpace:
             if any(p.cardinality() > 10_000 for p in group_params):
                 continue
             try:
-                trees.append(Tree(group_params, group_constraints, max_nodes=max_cot_nodes))
+                trees.append(
+                    Tree(
+                        group_params,
+                        group_constraints,
+                        max_nodes=max_cot_nodes,
+                        propagate=self.propagate,
+                    )
+                )
             except FeasibleSetTooLarge:
                 continue
             captured.extend(group_constraints)
@@ -290,6 +365,7 @@ class SearchSpace:
         n_samples: int = 1,
         biased_cot: bool = False,
         max_rejection_rounds: int = 10_000,
+        propagate: bool | None = None,
     ) -> list[Configuration]:
         """Draw ``n_samples`` feasible configurations.
 
@@ -306,6 +382,7 @@ class SearchSpace:
             n_samples,
             biased_cot=biased_cot,
             max_rejection_rounds=max_rejection_rounds,
+            propagate=propagate,
         )
         decode = self.encoder.decode
         return [decode(row) for row in rows]
@@ -351,6 +428,7 @@ class SearchSpace:
         n_samples: int = 1,
         biased_cot: bool = False,
         max_rejection_rounds: int = 10_000,
+        propagate: bool | None = None,
     ) -> np.ndarray:
         """Draw ``n_samples`` feasible configurations as encoded rows.
 
@@ -359,9 +437,20 @@ class SearchSpace:
         and the residual constraints are evaluated by their compiled column
         evaluators.  Returns an ``(n_samples, width)`` float matrix in the
         shared :class:`~repro.space.encoding.ConfigEncoder` layout.
+
+        With ``propagate`` (``None`` defers to the space-level flag), free
+        parameters draw from their arc-consistency-pruned domains instead of
+        the full ranges — the compiled residual mask still runs as the final
+        filter, so feasibility is decided by exactly the same code either
+        way.  Because pruning only removes values that appear in *no*
+        feasible configuration, the accepted-sample distribution is unchanged
+        (uniform draws restricted to a superset of the feasible set stay
+        uniform after conditioning on feasibility); only the RNG consumption
+        differs, which is why the flag defaults to off.
         """
         if n_samples < 0:
             raise ValueError("n_samples must be non-negative")
+        effective_propagate = self.propagate if propagate is None else bool(propagate)
         encoder = self.encoder
         tree_tables = self._tree_tables()
         covered = self._covered_names()
@@ -370,20 +459,34 @@ class SearchSpace:
         residual_vars: set[str] = set()
         for constraint, _ in residuals:
             residual_vars |= constraint.variables
+        pruned_domains: dict[str, Domain] = {}
+        if effective_propagate:
+            pruned_domains, _rounds = self._pruned_free_domains()
+            empty = sorted(n for n, d in pruned_domains.items() if d.is_empty)
+            if empty:
+                raise RuntimeError(
+                    "constraint propagation pruned the domains of parameters "
+                    f"{empty} to empty: the known constraints admit no "
+                    "feasible configuration"
+                )
 
         collected: list[np.ndarray] = []
+        constraint_passed = [0] * len(residuals)
         accepted = 0
         drawn = 0
+        rounds = 0
         budget = max_rejection_rounds * max(1, n_samples)
         while accepted < n_samples:
             need = n_samples - accepted
             if drawn >= budget:
-                raise RuntimeError(
-                    "rejection sampling failed to find feasible configurations; "
-                    "the feasible region may be too sparse"
+                self._record_sample_stats(
+                    n_samples, accepted, drawn, rounds, effective_propagate,
+                    residuals, constraint_passed,
                 )
+                raise RuntimeError(self._rejection_failure_message())
             need = min(need, budget - drawn)
             drawn += need
+            rounds += 1
             rows = np.empty((need, encoder.width), dtype=float)
             env: dict[str, np.ndarray] = {}
             for tree, raw, encoded in tree_tables:
@@ -394,7 +497,12 @@ class SearchSpace:
                     if name in residual_vars:
                         env[name] = raw[name][indices]
             for param in free_params:
-                column = param.sample_batch(rng, need)
+                if effective_propagate:
+                    column = param.sample_batch_from(
+                        rng, need, pruned_domains.get(param.name)
+                    )
+                else:
+                    column = param.sample_batch(rng, need)
                 rows[:, encoder.columns(param.name)] = encoder.encode_value_column(
                     param.name, column
                 )
@@ -402,14 +510,92 @@ class SearchSpace:
                     env[param.name] = self._env_column(np.asarray(column))
             if residuals:
                 mask = np.ones(need, dtype=bool)
-                for _, evaluator in residuals:
-                    mask &= evaluator(env)
+                for slot, (_, evaluator) in enumerate(residuals):
+                    passed = np.asarray(evaluator(env), dtype=bool)
+                    constraint_passed[slot] += int(passed.sum())
+                    mask &= passed
                 rows = rows[mask]
             collected.append(rows)
             accepted += len(rows)
+        self._record_sample_stats(
+            n_samples, accepted, drawn, rounds, effective_propagate,
+            residuals, constraint_passed,
+        )
         if not collected:
             return np.empty((0, encoder.width), dtype=float)
         return np.vstack(collected)[:n_samples]
+
+    def _record_sample_stats(
+        self,
+        requested: int,
+        accepted: int,
+        drawn: int,
+        rounds: int,
+        propagate: bool,
+        residuals: list,
+        constraint_passed: list[int],
+    ) -> None:
+        """Refresh :attr:`last_sample_stats` after a ``sample_rows`` run."""
+        trees = []
+        if self.chain_of_trees is not None:
+            trees = [
+                {"parameters": list(tree.parameter_names), "leaves": tree.n_feasible}
+                for tree in self.chain_of_trees.trees
+            ]
+        self.last_sample_stats = {
+            "requested": requested,
+            "accepted": accepted,
+            "drawn": drawn,
+            "rounds": rounds,
+            "acceptance_rate": accepted / drawn if drawn else float("nan"),
+            "propagate": propagate,
+            "constraints": [
+                {
+                    "name": constraint.name,
+                    "passed": passed,
+                    "rate": passed / drawn if drawn else float("nan"),
+                }
+                for (constraint, _), passed in zip(residuals, constraint_passed)
+            ],
+            "trees": trees,
+        }
+
+    def _rejection_failure_message(self) -> str:
+        """Rich diagnostics for an exhausted rejection budget.
+
+        Keeps the historical first line (callers and tests match on it) and
+        appends the measured acceptance rate, the rounds attempted, the
+        per-residual-constraint pass rates, and the per-tree leaf counts so a
+        too-sparse space can be diagnosed from the error alone.
+        """
+        stats = self.last_sample_stats or {}
+        lines = [
+            "rejection sampling failed to find feasible configurations; "
+            "the feasible region may be too sparse.",
+            f"  requested {stats.get('requested', '?')} samples, accepted "
+            f"{stats.get('accepted', '?')} of {stats.get('drawn', '?')} draws "
+            f"(acceptance rate {stats.get('acceptance_rate', float('nan')):.3g}) "
+            f"over {stats.get('rounds', '?')} rounds "
+            f"(propagate={stats.get('propagate', False)})",
+        ]
+        for entry in stats.get("constraints", []):
+            lines.append(
+                f"  residual constraint {entry['name']!r}: "
+                f"{entry['passed']} passed (rate {entry['rate']:.3g})"
+            )
+        for entry in stats.get("trees", []):
+            lines.append(
+                f"  tree over {entry['parameters']}: {entry['leaves']} feasible "
+                "leaves (tree draws are always feasible by construction)"
+            )
+        if not stats.get("propagate", False) and self._residual_constraints:
+            lines.append(
+                "  hint: constraint propagation (SearchSpace.with_propagation() "
+                "or BacoSettings(constraint_propagation=True)) prunes domains "
+                "before drawing and can cut rejection rates by orders of "
+                "magnitude on sparse spaces"
+            )
+        return "\n".join(lines)
 
     def feasible_mask_rows(self, rows: np.ndarray) -> np.ndarray:
         """Known-constraint feasibility of encoded rows, fully vectorized.
@@ -443,7 +629,11 @@ class SearchSpace:
 
     def default_configuration(self) -> Configuration:
         """The per-parameter defaults (may be infeasible for constrained spaces)."""
-        return {p.name: getattr(p, "default", p.values_list()[0]) for p in self.parameters}
+        config: Configuration = {}
+        for p in self.parameters:
+            default = getattr(p, "default", None)
+            config[p.name] = default if default is not None else p.values_list()[0]
+        return config
 
     # ------------------------------------------------------------------
     # neighbourhoods
@@ -503,6 +693,15 @@ class SearchSpace:
         residual_vars: set[str] = set()
         for constraint, _ in residuals:
             residual_vars |= constraint.variables
+        # with propagation on, drop candidate values the fixed point proved
+        # infeasible before materializing them: they could only fail the
+        # residual mask below, so the returned neighbours are identical
+        pruned_sets: dict[str, Any] = {}
+        if self.propagate:
+            for name, dom in self._pruned_free_domains()[0].items():
+                pruned_sets[name] = (
+                    set(dom.values) if dom.kind == "discrete" else dom
+                )
 
         blocks: list[np.ndarray] = []
         owners: list[int] = []
@@ -529,6 +728,17 @@ class SearchSpace:
                     candidates = [
                         v for v in param.neighbours(current) if param.contains(v)
                     ]
+                    admitted = pruned_sets.get(param.name)
+                    if isinstance(admitted, set):
+                        candidates = [
+                            v for v in candidates if param.canonical(v) in admitted
+                        ]
+                    elif admitted is not None:
+                        candidates = [
+                            v
+                            for v in candidates
+                            if admitted.low <= float(v) <= admitted.high
+                        ]
                 if not candidates:
                     continue
                 block = np.tile(rows[i], (len(candidates), 1))

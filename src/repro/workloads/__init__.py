@@ -1,6 +1,11 @@
 """Benchmark workloads: the 25 instances of the paper's evaluation (Table 3)."""
 
 from .base import Benchmark, expert_search
+from .hard_constraint_suite import (
+    HARD_CONSTRAINT_DENSITIES,
+    build_hard_constraint_benchmark,
+    hard_constraint_benchmark_names,
+)
 from .hpvm_suite import build_hpvm_benchmark, hpvm_benchmark_names
 from .registry import (
     FRAMEWORKS,
@@ -15,15 +20,18 @@ from .taco_suite import TACO_BENCHMARK_TENSORS, build_taco_benchmark, taco_bench
 __all__ = [
     "Benchmark",
     "FRAMEWORKS",
+    "HARD_CONSTRAINT_DENSITIES",
     "RISE_BENCHMARKS",
     "TACO_BENCHMARK_TENSORS",
     "benchmark_names",
     "benchmarks_by_framework",
+    "build_hard_constraint_benchmark",
     "build_hpvm_benchmark",
     "build_rise_benchmark",
     "build_taco_benchmark",
     "expert_search",
     "get_benchmark",
+    "hard_constraint_benchmark_names",
     "hpvm_benchmark_names",
     "representative_benchmarks",
     "rise_benchmark_names",

@@ -16,6 +16,10 @@ from __future__ import annotations
 from functools import lru_cache
 
 from .base import Benchmark
+from .hard_constraint_suite import (
+    build_hard_constraint_benchmark,
+    hard_constraint_benchmark_names,
+)
 from .hpvm_suite import build_hpvm_benchmark, hpvm_benchmark_names
 from .rise_suite import build_rise_benchmark, rise_benchmark_names
 from .taco_suite import TACO_BENCHMARK_TENSORS, build_taco_benchmark, taco_benchmark_names
@@ -25,6 +29,7 @@ __all__ = [
     "benchmark_names",
     "benchmarks_by_framework",
     "get_benchmark",
+    "hard_constraint_benchmark_names",
     "representative_benchmarks",
 ]
 
@@ -75,6 +80,10 @@ def get_benchmark(name: str) -> Benchmark:
         return build_rise_benchmark(name[len("rise_"):])
     if name.startswith("hpvm_"):
         return build_hpvm_benchmark(name[len("hpvm_"):])
+    if name.startswith("hard_constraint_"):
+        # synthetic hard-constraint spaces: addressable by name but not part
+        # of benchmark_names() (that list is the paper's 25 instances)
+        return build_hard_constraint_benchmark(name[len("hard_constraint_"):])
     raise KeyError(
         f"unknown benchmark {name!r}; see repro.workloads.benchmark_names() for options"
     )

@@ -491,3 +491,102 @@ class TestFastPolicyCheckpointBitCompatibility:
         # and the valid spec still starts
         response = registry.handle({**base, "surrogate_policy": "fast"})
         assert response["ok"], response
+
+
+class TestAutoRfPolicy:
+    """``rf_at=auto``: the measured GP-to-RF switch.
+
+    The latch decision is driven by wall-clock measurements, so the tests
+    inject timings rather than rely on the host being slow: the spec layer is
+    pinned exactly, the latch is forced and verified one-way, snapshots carry
+    the timing state only in auto mode, and with the probe pinned to +inf an
+    ``auto`` run replays a plain ``fast`` run bit for bit (the probe draws
+    from its own fixed-seed generator, never the tuner's stream)."""
+
+    BENCHMARK = "hpvm_bfs"
+
+    def _tuner(self, policy: str):
+        from repro.experiments.runner import make_tuner
+        from repro.workloads.registry import get_benchmark
+
+        bench = get_benchmark(self.BENCHMARK)
+        return get_benchmark(self.BENCHMARK), make_tuner(
+            "BaCO", bench.space, seed=23, surrogate_policy=policy
+        )
+
+    def test_spec_parse_round_trip(self):
+        from repro.core.baco import SurrogatePolicy
+
+        policy = SurrogatePolicy.parse("fast,rf_at=auto")
+        assert policy.rf_auto and policy.rf_threshold is None
+        assert policy.spec() == "fast,refit_every=8,sweep_every=40,rf_at=auto"
+        assert SurrogatePolicy.parse(policy.spec()) == policy
+        for bad in ("fast,rf_at=auto,rf_at=4", "fast,rf_at=soon", "exact,rf_at=auto"):
+            with pytest.raises(ValueError):
+                SurrogatePolicy.parse(bad)
+        with pytest.raises(ValueError, match="fixed count and 'auto'"):
+            from repro.core.baco import SurrogatePolicy as SP
+
+            SP(mode="fast", rf_threshold=8, rf_auto=True)
+
+    def test_injected_timings_latch_one_way(self):
+        bench, tuner = self._tuner("fast,rf_at=auto")
+        tuner.tune(bench.evaluator, 18, benchmark_name=bench.name)
+        state = tuner._auto_rf_state
+        assert state["gp_ema"] is not None  # fits were timed
+
+        n = len(tuner._feasible_values)
+        tuner._auto_rf_state.update(
+            {"gp_ema": 10.0, "rf_probe": 1e-4, "probe_n": n}
+        )
+        assert tuner._auto_rf_active(tuner._feasible_values)
+        assert tuner._auto_rf_state["active_from"] == n
+        assert tuner._fast_gp is None  # incremental GP state dropped
+        # one-way: even a (stale) favourable EMA cannot unlatch
+        tuner._auto_rf_state["gp_ema"] = 0.0
+        assert tuner._auto_rf_active(tuner._feasible_values)
+
+    def test_pinned_probe_replays_plain_fast_exactly(self):
+        spec = "fast,refit_every=3,sweep_every=10"
+        bench, reference = self._tuner(spec)
+        expected = reference.tune(bench.evaluator, 14, benchmark_name=bench.name).to_dict()
+
+        _, auto = self._tuner(spec + ",rf_at=auto")
+        # an unreachable probe: the latch can never engage, so the only
+        # remaining difference would be an RNG or cadence leak — there is none
+        auto._auto_rf_state.update({"rf_probe": float("inf"), "probe_n": 10**9})
+        got = auto.tune(bench.evaluator, 14, benchmark_name=bench.name).to_dict()
+        for trace in (expected, got):
+            trace.pop("tuner_seconds", None)
+            trace.pop("evaluation_seconds", None)
+        assert got == expected
+        assert auto._auto_rf_state["active_from"] is None
+
+    def test_snapshot_round_trips_auto_state(self):
+        from repro.core.baco import BacoSettings, BacoTuner
+        from repro.workloads.registry import get_benchmark
+
+        bench, tuner = self._tuner("fast,rf_at=auto")
+        tuner.tune(bench.evaluator, 18, benchmark_name=bench.name)
+        n = len(tuner._feasible_values)
+        tuner._auto_rf_state.update({"gp_ema": 10.0, "rf_probe": 1e-4, "probe_n": n})
+        assert tuner._auto_rf_active(tuner._feasible_values)
+
+        payload = json.loads(json.dumps(tuner._state_dict()))
+        assert payload["surrogate_policy"]["auto_rf"]["active_from"] == n
+
+        space = get_benchmark(self.BENCHMARK).space
+        restored = BacoTuner(
+            space,
+            settings=BacoSettings(surrogate_policy="fast,rf_at=auto"),
+            seed=23,
+        )
+        restored._load_state_dict(payload)
+        assert restored._policy.rf_auto
+        assert restored._auto_rf_state["active_from"] == n
+        assert restored._auto_rf_state["gp_ema"] == 10.0
+
+    def test_plain_fast_snapshots_carry_no_auto_key(self):
+        bench, tuner = self._tuner("fast,refit_every=3,sweep_every=10")
+        tuner.tune(bench.evaluator, 10, benchmark_name=bench.name)
+        assert "auto_rf" not in tuner._state_dict()["surrogate_policy"]

@@ -1,0 +1,542 @@
+"""The constraint-propagation sampling engine: reducers, pruned draws, suite.
+
+Four protection layers for the domain-pruning layer under ``sample_rows``:
+
+* **soundness against the scalar oracle** — per-constraint domain reducers
+  and the fixed point never prune a value that participates in any feasible
+  assignment (brute-force enumeration on small discrete spaces, plus a
+  hypothesis property suite over random mixed R/I/O/C/P spaces driven by the
+  scalar ``sample_reference`` oracle);
+* **confluence** — the arc-consistency fixed point is independent of the
+  order the reducers are applied in (contracting + monotone);
+* **semantic equivalence** — ``propagate=True`` produces only feasible rows
+  (``feasible_mask_rows`` stays the final filter), reaches the exact
+  per-constraint support, and keeps unconstrained dimensions untouched,
+  while the default-off path consumes the RNG stream bit-identically to the
+  pre-propagation sampler;
+* **the hard-constraint workload suite** — densities behave as labelled:
+  rejection works at 1e-2, propagation is required at 1e-6.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import assume, given
+from hypothesis import settings as hyp_settings
+from hypothesis import strategies as st
+
+from repro.space.chain_of_trees import Tree
+from repro.space.constraints import (
+    Constraint,
+    Domain,
+    compile_domain_reducer,
+    propagate_domains,
+)
+from repro.space.parameters import (
+    CategoricalParameter,
+    IntegerParameter,
+    OrdinalParameter,
+    PermutationParameter,
+    RealParameter,
+)
+from repro.space.space import SearchSpace
+
+
+def _reducers(constraints):
+    compiled = [compile_domain_reducer(c) for c in constraints]
+    return [r for r in compiled if r is not None]
+
+
+def _admits(domain: Domain, value) -> bool:
+    if domain.kind == "discrete":
+        return value in domain.values
+    return domain.low <= float(value) <= domain.high
+
+
+# ---------------------------------------------------------------------------
+# Domain basics
+# ---------------------------------------------------------------------------
+
+class TestDomain:
+    def test_discrete_roundtrip_and_empty(self):
+        dom = Domain.discrete([1, 2, 3])
+        assert dom.kind == "discrete" and dom.size == 3 and not dom.is_empty
+        empty = dom.empty_like()
+        assert empty.is_empty and empty.kind == "discrete"
+
+    def test_interval_and_equality(self):
+        dom = Domain.interval(0.5, 2.0)
+        assert dom.kind == "interval" and not dom.is_empty
+        assert Domain.interval(2.0, 0.5).is_empty
+        assert dom == Domain.interval(0.5, 2.0)
+        assert dom != Domain.discrete([0.5, 2.0])
+
+
+# ---------------------------------------------------------------------------
+# reducer soundness vs. brute force
+# ---------------------------------------------------------------------------
+
+def _brute_force_support(domains: dict, constraints) -> dict:
+    """Per-parameter value sets that appear in >= 1 satisfying assignment."""
+    names = list(domains)
+    support: dict = {name: set() for name in names}
+    for combo in itertools.product(*(domains[name] for name in names)):
+        config = dict(zip(names, combo))
+        if all(c.evaluate(config) for c in constraints):
+            for name, value in config.items():
+                support[name].add(value)
+    return support
+
+
+class TestReducerSoundness:
+    DOMAINS = {
+        "a": list(range(8)),
+        "b": list(range(8)),
+        "c": [1, 2, 4, 8],
+    }
+
+    def _propagated(self, constraints):
+        initial = {k: Domain.discrete(v) for k, v in self.DOMAINS.items()}
+        pruned, _rounds = propagate_domains(_reducers(constraints), initial)
+        return pruned
+
+    @pytest.mark.parametrize(
+        "expression",
+        [
+            "a < b",
+            "a % 2 == 0",
+            "a + b <= 4",
+            "a * c <= 8",
+            "a == b",
+            "c in (2, 8)",
+            "a <= 2 or b >= 6",
+            "a % 2 == 0 and b > a",
+            "2 <= a <= 5",
+        ],
+    )
+    def test_single_constraint_gac_is_exact(self, expression):
+        """Product-form GAC on one constraint keeps exactly the support."""
+        constraints = [Constraint(expression)]
+        pruned = self._propagated(constraints)
+        support = _brute_force_support(self.DOMAINS, constraints)
+        for name in self.DOMAINS:
+            assert set(pruned[name].values) == support[name], name
+
+    def test_conjunction_fixed_point_is_sound(self):
+        constraints = [
+            Constraint("a < b"),
+            Constraint("a + b <= 9"),
+            Constraint("a * c <= 16"),
+            Constraint("b % 2 == 0"),
+        ]
+        pruned = self._propagated(constraints)
+        support = _brute_force_support(self.DOMAINS, constraints)
+        for name in self.DOMAINS:
+            # never prune a feasible value; pruning may over-approximate
+            assert support[name] <= set(pruned[name].values), name
+
+    def test_unsatisfiable_constraint_empties_its_domain(self):
+        """A constraint with no support empties the involved domain.
+
+        (A globally unsatisfiable *conjunction* of individually consistent
+        constraints — e.g. ``a > b`` and ``a < b`` — is beyond arc
+        consistency; only per-constraint support is guaranteed.)
+        """
+        pruned = self._propagated([Constraint("a > 10")])
+        assert pruned["a"].is_empty
+        chained = self._propagated([Constraint("a < b"), Constraint("b < a")])
+        # sound even when unsatisfiable: never *wrongly* empties a domain
+        assert not chained["c"].is_empty
+
+    def test_callable_constraints_do_not_compile(self):
+        assert compile_domain_reducer(
+            Constraint.from_callable(lambda cfg: cfg["a"] > 0, name="cb", variables=["a"])
+        ) is None
+
+    def test_interval_endpoint_tightening(self):
+        initial = {"eps": Domain.interval(0.01, 1.0), "a": Domain.discrete(range(8))}
+        pruned, _ = propagate_domains(_reducers([Constraint("eps >= 0.05")]), initial)
+        assert pruned["eps"].low == pytest.approx(0.05)
+        assert pruned["eps"].high == pytest.approx(1.0)
+
+    def test_interval_vs_discrete_comparison(self):
+        initial = {"eps": Domain.interval(0.0, 10.0), "a": Domain.discrete([1, 2, 4])}
+        pruned, _ = propagate_domains(_reducers([Constraint("eps <= a")]), initial)
+        assert pruned["eps"].high == pytest.approx(4.0)
+
+    def test_fixed_values_participate(self):
+        """A fixed assignment narrows the other variables' domains."""
+        initial = {"b": Domain.discrete(range(8))}
+        pruned, _ = propagate_domains(
+            _reducers([Constraint("a < b")]), initial, fixed={"a": 5}
+        )
+        assert set(pruned["b"].values) == {6, 7}
+
+    def test_fixed_violation_through_disjunction(self):
+        """A dead disjunct must not block pruning by the live one."""
+        initial = {"eps": Domain.interval(0.01, 1.0)}
+        pruned, _ = propagate_domains(
+            _reducers([Constraint("eps >= 0.05 or a <= 50")]), initial, fixed={"a": 80}
+        )
+        assert pruned["eps"].low == pytest.approx(0.05)
+
+
+# ---------------------------------------------------------------------------
+# hypothesis property suite
+# ---------------------------------------------------------------------------
+
+_TEMPLATES = (
+    "a < b",
+    "a >= b",
+    "a + b <= {n}",
+    "a % 2 == 0",
+    "b % 3 == 1",
+    "a != b",
+    "a in (0, 2, 4, 6)",
+    "a <= b or b >= {n}",
+    "1 <= a <= {n}",
+    "eps >= 0.05 or a <= {n}",
+)
+
+
+@st.composite
+def constrained_spaces(draw):
+    """Random mixed R/I/O/C/P spaces with 1-3 residual template constraints."""
+    a_vals = draw(st.lists(st.integers(0, 9), min_size=3, max_size=6, unique=True))
+    parameters = [
+        OrdinalParameter("a", sorted(a_vals)),
+        IntegerParameter("b", 0, draw(st.integers(3, 9))),
+        RealParameter("eps", 0.01, 1.0, transform=draw(st.sampled_from(["linear", "log"]))),
+        CategoricalParameter("mode", ["u", "v", "w"][: draw(st.integers(2, 3))]),
+        PermutationParameter("perm", draw(st.integers(2, 3))),
+    ]
+    chosen = draw(
+        st.lists(st.sampled_from(_TEMPLATES), min_size=1, max_size=3, unique=True)
+    )
+    constraints = [
+        Constraint(template.format(n=draw(st.integers(2, 8)))) for template in chosen
+    ]
+    # residual-only on purpose: propagation over the free parameters is the
+    # code under test (tree capture is covered by TestTreeBuildEquivalence)
+    return SearchSpace(parameters, constraints, build_chain_of_trees=False)
+
+
+@given(constrained_spaces(), st.integers(0, 2**31 - 1))
+@hyp_settings(max_examples=30, deadline=None)
+def test_no_feasible_configuration_is_ever_pruned(space, seed):
+    """Every config the scalar oracle accepts lies inside the pruned domains."""
+    rng = np.random.default_rng(seed)
+    try:
+        configs = space.sample_reference(rng, 5, max_rejection_rounds=400)
+    except RuntimeError:
+        assume(False)  # feasible region too sparse to exercise the oracle
+    pruned, _rounds = space.with_propagation()._pruned_free_domains()
+    for config in configs:
+        assert space.is_feasible(config)
+        for name, domain in pruned.items():
+            assert _admits(domain, config[name]), (name, config[name], domain)
+
+
+@given(constrained_spaces(), st.randoms(use_true_random=False))
+@hyp_settings(max_examples=30, deadline=None)
+def test_fixed_point_is_order_independent(space, shuffler):
+    """The propagation fixed point is confluent under reducer reordering."""
+    reducers = _reducers(space.constraints)
+    assume(reducers)
+    initial = {
+        p.name: dom
+        for p in space.parameters
+        if (dom := p.propagation_domain()) is not None
+    }
+    reference, _ = propagate_domains(reducers, initial)
+    shuffled = list(reducers)
+    shuffler.shuffle(shuffled)
+    permuted, _ = propagate_domains(shuffled, initial)
+    assert reference == permuted
+
+
+@given(constrained_spaces(), st.integers(0, 2**31 - 1))
+@hyp_settings(max_examples=20, deadline=None)
+def test_propagated_rows_are_feasible_and_default_stream_unchanged(space, seed):
+    propagating = space.with_propagation()
+    try:
+        rows = propagating.sample_rows(np.random.default_rng(seed), 16)
+    except RuntimeError:
+        assume(False)
+    assert len(rows) == 16
+    assert bool(np.all(space.feasible_mask_rows(rows)))
+    # default-off consumes the RNG stream identically with the kwarg spelled
+    # out or omitted, and independently of the propagating view existing
+    baseline = space.sample_rows(np.random.default_rng(seed), 16)
+    explicit = space.sample_rows(np.random.default_rng(seed), 16, propagate=False)
+    np.testing.assert_array_equal(baseline, explicit)
+
+
+# ---------------------------------------------------------------------------
+# the propagating sampler
+# ---------------------------------------------------------------------------
+
+def _divisible_space(**kwargs) -> SearchSpace:
+    return SearchSpace(
+        [
+            OrdinalParameter("a", list(range(30))),
+            OrdinalParameter("b", list(range(10))),
+            RealParameter("eps", 0.01, 1.0, transform="log"),
+            CategoricalParameter("mode", ["u", "v"]),
+            PermutationParameter("perm", 3),
+        ],
+        [Constraint("a % 3 == 0"), Constraint("eps >= 0.05")],
+        build_chain_of_trees=False,
+        **kwargs,
+    )
+
+
+class TestPropagatedSampling:
+    def test_with_propagation_is_a_non_mutating_view(self):
+        space = _divisible_space()
+        view = space.with_propagation()
+        assert view is not space
+        assert not space.propagate and view.propagate
+        assert view.with_propagation() is view  # idempotent
+        assert view.parameters is space.parameters
+        assert view.encoder is space.encoder
+
+    def test_propagation_reaches_exact_support_and_uniformity(self):
+        space = _divisible_space().with_propagation()
+        rows = space.sample_rows(np.random.default_rng(0), 5000)
+        configs = [space.encoder.decode(row) for row in rows]
+        observed = np.array([c["a"] for c in configs])
+        expected_support = set(range(0, 30, 3))
+        counts = {v: int((observed == v).sum()) for v in expected_support}
+        assert set(observed.tolist()) == expected_support
+        # uniform over the support: each value within +-40% of expectation
+        for value, count in counts.items():
+            assert 0.6 * 500 < count < 1.4 * 500, (value, count)
+        # untouched dimensions keep their full support
+        assert {c["mode"] for c in configs} == {"u", "v"}
+        assert min(c["eps"] for c in configs) >= 0.05
+        assert len({tuple(c["perm"]) for c in configs}) == 6
+
+    def test_propagation_stats_recorded(self):
+        space = _divisible_space().with_propagation()
+        space.sample_rows(np.random.default_rng(1), 64)
+        stats = space.last_sample_stats
+        assert stats["propagate"] is True
+        assert stats["accepted"] == 64
+        assert stats["acceptance_rate"] > 0.9  # both constraints fully pruned
+        assert [c["name"] for c in stats["constraints"]] == ["a % 3 == 0", "eps >= 0.05"]
+
+    def test_settings_propagate_kwarg_overrides_flag(self):
+        space = _divisible_space()
+        rows = space.sample_rows(np.random.default_rng(2), 32, propagate=True)
+        assert bool(np.all(space.feasible_mask_rows(rows)))
+        assert space.last_sample_stats["propagate"] is True
+
+    def test_provably_infeasible_space_raises_immediately(self):
+        space = SearchSpace(
+            [OrdinalParameter("a", [1, 2, 3])],
+            [Constraint("a > 5")],
+            build_chain_of_trees=False,
+        ).with_propagation()
+        with pytest.raises(RuntimeError, match="no feasible configuration"):
+            space.sample_rows(np.random.default_rng(0), 4)
+
+    def test_real_domain_draws_respect_truncation(self):
+        space = SearchSpace(
+            [RealParameter("eps", 0.01, 1.0, transform="log")],
+            [Constraint("eps >= 0.2")],
+            build_chain_of_trees=False,
+        ).with_propagation()
+        rows = space.sample_rows(np.random.default_rng(3), 512)
+        values = space.encoder.value_columns(rows, names=["eps"])["eps"]
+        assert float(values.min()) >= 0.2
+        assert float(values.max()) <= 1.0
+
+    def test_neighbour_rows_agree_with_unpruned_path(self):
+        space = _divisible_space()
+        view = space.with_propagation()
+        rows = space.sample_rows(np.random.default_rng(4), 8)
+        base = space.neighbour_rows_batch(rows)
+        pruned = view.neighbour_rows_batch(rows)
+        assert len(base) == len(pruned)
+        for lhs, rhs in zip(base, pruned):
+            np.testing.assert_array_equal(lhs, rhs)
+
+
+class TestRejectionDiagnostics:
+    def test_failure_message_carries_acceptance_and_hint(self):
+        space = SearchSpace(
+            [OrdinalParameter("a", list(range(1000)))],
+            [Constraint("a % 500 == 0")],
+            build_chain_of_trees=False,
+        )
+        with pytest.raises(RuntimeError) as excinfo:
+            space.sample_rows(np.random.default_rng(0), 64, max_rejection_rounds=2)
+        message = str(excinfo.value)
+        # the historical first line survives for callers matching on it
+        assert message.startswith(
+            "rejection sampling failed to find feasible configurations"
+        )
+        assert "acceptance rate" in message
+        assert "a % 500 == 0" in message
+        assert "with_propagation" in message
+
+    def test_propagating_failure_omits_the_hint(self):
+        space = SearchSpace(
+            [
+                OrdinalParameter("a", list(range(1000))),
+                OrdinalParameter("b", list(range(1000))),
+            ],
+            # not reducible to per-parameter pruning: stays sparse even when
+            # propagating, so the budget still exhausts
+            [Constraint("a == b")],
+            build_chain_of_trees=False,
+        ).with_propagation()
+        with pytest.raises(RuntimeError) as excinfo:
+            space.sample_rows(np.random.default_rng(0), 64, max_rejection_rounds=2)
+        assert "with_propagation" not in str(excinfo.value)
+
+
+# ---------------------------------------------------------------------------
+# chain-of-trees build equivalence
+# ---------------------------------------------------------------------------
+
+def _tree_shape(node):
+    return (
+        node.value,
+        node.depth,
+        node.leaf_count,
+        [_tree_shape(child) for child in node.children],
+    )
+
+
+class TestTreeBuildEquivalence:
+    def test_propagated_tree_is_structurally_identical(self):
+        powers = [1, 2, 4, 8, 16, 32, 64]
+        parameters = [
+            OrdinalParameter("ts", powers),
+            OrdinalParameter("ls", powers[:4]),
+            OrdinalParameter("k", [1, 2, 3]),
+        ]
+        constraints = [
+            Constraint("ts % ls == 0"),
+            Constraint("ts * ls <= 256"),
+            Constraint("k < ls"),
+        ]
+        plain = Tree(parameters, constraints)
+        propagated = Tree(parameters, constraints, propagate=True)
+        assert plain.n_feasible == propagated.n_feasible
+        assert _tree_shape(plain.root) == _tree_shape(propagated.root)
+
+    def test_propagated_root_domains_are_populated(self):
+        parameters = [OrdinalParameter("x", list(range(10)))]
+        tree = Tree(parameters, [Constraint("x % 2 == 0")], propagate=True)
+        assert tree.root.domains is not None
+        assert set(tree.root.domains["x"].values) == {0, 2, 4, 6, 8}
+
+
+# ---------------------------------------------------------------------------
+# hard-constraint workload suite
+# ---------------------------------------------------------------------------
+
+class TestHardConstraintSuite:
+    def test_registry_and_names(self):
+        from repro.workloads import (
+            HARD_CONSTRAINT_DENSITIES,
+            benchmark_names,
+            get_benchmark,
+            hard_constraint_benchmark_names,
+        )
+
+        names = hard_constraint_benchmark_names()
+        assert names == [
+            "hard_constraint_1e-2",
+            "hard_constraint_1e-4",
+            "hard_constraint_1e-6",
+        ]
+        # a scenario axis of its own, not one of the paper's 25 instances
+        assert not set(names) & set(benchmark_names())
+        assert HARD_CONSTRAINT_DENSITIES == {"1e-2": 2, "1e-4": 4, "1e-6": 6}
+        for name in names:
+            bench = get_benchmark(name)
+            assert bench.name == name
+            assert bench.space.chain_of_trees is None
+            result = bench.evaluator(bench.default_configuration)
+            assert result.feasible and result.value > 0
+        with pytest.raises(KeyError):
+            get_benchmark("hard_constraint_1e-9")
+
+    def test_density_scales_with_k(self):
+        """Empirical acceptance of the 1e-2 instance sits near its label."""
+        from repro.workloads import get_benchmark
+
+        space = get_benchmark("hard_constraint_1e-2").space
+        space.sample_rows(np.random.default_rng(7), 128, max_rejection_rounds=2_000)
+        stats = space.last_sample_stats
+        empirical = stats["accepted"] / stats["drawn"]
+        assert 0.002 < empirical < 0.05  # ~1e-2 up to sampling noise
+
+    def test_sparsest_instance_needs_propagation(self):
+        from repro.workloads import get_benchmark
+
+        space = get_benchmark("hard_constraint_1e-6").space
+        with pytest.raises(RuntimeError, match="rejection sampling failed"):
+            space.sample_rows(np.random.default_rng(0), 32, max_rejection_rounds=50)
+        rows = space.with_propagation().sample_rows(np.random.default_rng(0), 32)
+        assert len(rows) == 32
+        assert bool(np.all(space.feasible_mask_rows(rows)))
+
+    def test_objective_is_deterministic_and_picklable(self):
+        import pickle
+
+        from repro.workloads import get_benchmark
+
+        bench = get_benchmark("hard_constraint_1e-4")
+        clone = pickle.loads(pickle.dumps(bench.evaluator))
+        config = bench.default_configuration
+        assert clone(config).value == bench.evaluator(config).value
+
+
+# ---------------------------------------------------------------------------
+# tuner plumbing
+# ---------------------------------------------------------------------------
+
+class TestTunerPlumbing:
+    def test_baco_settings_flag_swaps_the_space(self):
+        from repro.core.baco import BacoSettings, BacoTuner
+        from repro.workloads import get_benchmark
+
+        bench = get_benchmark("hard_constraint_1e-6")
+        tuner = BacoTuner(
+            bench.space,
+            settings=BacoSettings(constraint_propagation=True),
+            seed=0,
+        )
+        assert tuner.space is not bench.space
+        assert tuner.space.propagate
+        assert not bench.space.propagate  # the registry singleton is untouched
+        assert tuner._space_encoder is tuner.space.encoder
+
+    def test_session_meta_round_trips_propagate(self, tmp_path):
+        from repro.core.session import drive
+        from repro.experiments.runner import load_session, make_session, save_session
+
+        session, bench = make_session(
+            "hard_constraint_1e-6", "Uniform Sampling", 4, 11, propagate=True
+        )
+        assert session.meta["propagate"] is True
+        drive(session, bench.evaluator)
+        path = save_session(session, tmp_path / "prop.ckpt.json")
+        restored, _bench = load_session(path)
+        assert restored.tuner.space.propagate
+        assert len(restored.history) == 4
+
+    def test_default_sessions_record_no_propagate_key(self):
+        from repro.experiments.runner import make_session
+
+        session, _bench = make_session("hard_constraint_1e-2", "Uniform Sampling", 2, 1)
+        assert "propagate" not in session.meta
+        assert not session.tuner.space.propagate
