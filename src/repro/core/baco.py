@@ -30,9 +30,12 @@ from dataclasses import dataclass
 from typing import Any, Mapping
 
 import numpy as np
-from scipy import stats
 
-from ..models.distances import DistanceComputer, IncrementalDistanceTensor
+from ..models.distances import (
+    CrossDistanceTensor,
+    DistanceComputer,
+    IncrementalDistanceTensor,
+)
 from ..models.gp import GaussianProcess, GPHyperparameters
 from ..models.priors import GammaPrior
 from ..models.random_forest import RandomForestRegressor
@@ -44,10 +47,18 @@ from ..space.parameters import (
     RealParameter,
 )
 from ..space.space import Configuration, SearchSpace
-from .acquisition import AcquisitionFunction
+from .acquisition import (
+    AcquisitionFunction,
+    FusedAcquisitionScorer,
+    expected_improvement,
+)
 from .doe import default_doe_size, initial_design_queue
 from .feasibility import FeasibilityModel, FeasibilityThresholdSchedule
-from .local_search import LocalSearchSettings, multistart_local_search_batch
+from .local_search import (
+    LocalSearchSettings,
+    multistart_local_search_batch,
+    pooled_local_search_batch,
+)
 from .result import ObjectiveResult
 from .tuner import Tuner
 
@@ -95,6 +106,18 @@ class SurrogatePolicy:
       budget-adaptive switch for long runs where even incremental GP
       algebra grows quadratically.
 
+    ``pool=N`` keeps a **persistent candidate pool** of ``N`` feasible rows
+    that survives across asks: instead of redrawing the full random batch
+    every iteration, only the rows consumed as climb starts (or filtered out
+    by the refreshed ε_f) are resampled, and the rest keep their cached
+    distance columns.  ``cache=off`` disables the companion test–train
+    cross-distance tensor (:class:`~repro.models.distances.
+    CrossDistanceTensor`) while keeping the pool itself — a debugging /
+    ablation knob; the default ``cache=on`` makes pool predicts a pure
+    kernel-apply.  Both ride on the ``fast`` mode because the pool redraw
+    pattern consumes a different RNG stream than the exact path's
+    batch-per-ask draw.
+
     ``rf_at=auto`` replaces the fixed count with a *measured* switch: the
     tuner keeps an exponential moving average of the per-iteration GP fit
     wall-clock and periodically times an RF fit on the same data; once the
@@ -108,8 +131,8 @@ class SurrogatePolicy:
 
     Spec strings round-trip through :meth:`parse` / :meth:`spec`:
     ``"exact"``, ``"fast"``,
-    ``"fast,refit_every=8,sweep_every=40,rf_at=256"``, or
-    ``"fast,rf_at=auto"``.
+    ``"fast,refit_every=8,sweep_every=40,rf_at=256"``,
+    ``"fast,rf_at=auto"``, or ``"fast,pool=512,cache=on"``.
     """
 
     mode: str = "exact"
@@ -117,6 +140,8 @@ class SurrogatePolicy:
     sweep_every: int = 40
     rf_threshold: int | None = None
     rf_auto: bool = False
+    pool_size: int | None = None
+    cross_cache: bool = True
 
     def __post_init__(self) -> None:
         if self.mode not in ("exact", "fast"):
@@ -129,6 +154,13 @@ class SurrogatePolicy:
             raise ValueError("rf_threshold must be >= 2")
         if self.rf_auto and self.rf_threshold is not None:
             raise ValueError("rf_at cannot be both a fixed count and 'auto'")
+        if self.pool_size is not None:
+            if self.mode != "fast":
+                raise ValueError("pool= requires the 'fast' policy mode")
+            if self.pool_size < 2:
+                raise ValueError("pool_size must be >= 2")
+        elif not self.cross_cache:
+            raise ValueError("cache=off requires a candidate pool (pool=N)")
 
     @classmethod
     def parse(cls, spec: "str | SurrogatePolicy | None") -> "SurrogatePolicy":
@@ -150,7 +182,13 @@ class SurrogatePolicy:
                 f"unknown surrogate policy {mode!r}; expected 'exact' or 'fast'"
             )
         kwargs: dict[str, Any] = {}
-        keys = {"refit_every": "refit_hypers_every", "sweep_every": "sweep_every", "rf_at": "rf_threshold"}
+        keys = {
+            "refit_every": "refit_hypers_every",
+            "sweep_every": "sweep_every",
+            "rf_at": "rf_threshold",
+            "pool": "pool_size",
+            "cache": "cross_cache",
+        }
         seen: set[str] = set()
         for option in options:
             if "=" not in option:
@@ -166,6 +204,12 @@ class SurrogatePolicy:
             seen.add(field)
             if field == "rf_threshold" and value.strip() == "auto":
                 kwargs["rf_auto"] = True
+                continue
+            if field == "cross_cache":
+                flag = value.strip()
+                if flag not in ("on", "off"):
+                    raise ValueError("policy option 'cache' must be 'on' or 'off'")
+                kwargs["cross_cache"] = flag == "on"
                 continue
             try:
                 kwargs[field] = int(value)
@@ -185,6 +229,10 @@ class SurrogatePolicy:
             spec += f",rf_at={self.rf_threshold}"
         if self.rf_auto:
             spec += ",rf_at=auto"
+        if self.pool_size is not None:
+            spec += f",pool={self.pool_size}"
+            if not self.cross_cache:
+                spec += ",cache=off"
         return spec
 
     def surrogate_for(self, n_train: int) -> str:
@@ -339,6 +387,20 @@ class BacoTuner(Tuner):
         }
         self._auto_rf_state: dict[str, Any] = dict(_AUTO_RF_STATE_EMPTY)
         self._restored_chol_base_n = 0
+        # Acquisition hot-path caches (pooled fast policies only): the
+        # persistent candidate pool (space-encoder rows), the indices due a
+        # resample before the next ask, the pool↔train cross-distance tensor,
+        # and the cross-ask neighbour-matrix cache of the pooled climb.
+        self._candidate_pool: np.ndarray | None = None
+        self._pool_refill: list[int] = []
+        self._cross_distance = CrossDistanceTensor(self._model_distance)
+        self._neighbour_cache: dict[bytes, np.ndarray] = {}
+        # The cross tensor measures distances in the *model* encoding; it can
+        # only stand in for pool-row distances when both encoders agree on
+        # every warp (false under e.g. the no-transformations ablation).
+        self._shared_model_encoding = (
+            self._model_distance.encoder.signature() == self._space_encoder.signature()
+        )
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -383,6 +445,10 @@ class BacoTuner(Tuner):
         self._policy_state = {"last_sweep_n": 0, "last_refit_n": 0, "hypers": None}
         self._auto_rf_state = dict(_AUTO_RF_STATE_EMPTY)
         self._restored_chol_base_n = 0
+        self._candidate_pool = None
+        self._pool_refill = []
+        self._cross_distance.reset()
+        self._neighbour_cache.clear()
 
     @property
     def surrogate_policy(self) -> SurrogatePolicy:
@@ -415,6 +481,10 @@ class BacoTuner(Tuner):
         self._fast_gp = None
         self._policy_state = {"last_sweep_n": 0, "last_refit_n": 0, "hypers": None}
         self._restored_chol_base_n = 0
+        self._candidate_pool = None
+        self._pool_refill = []
+        self._cross_distance.reset()
+        self._neighbour_cache.clear()
 
     def _plan(self, budget: int) -> None:
         doe_size = self.settings.doe_size or default_doe_size(self.space, budget)
@@ -463,14 +533,16 @@ class BacoTuner(Tuner):
         """
         exclude = self._evaluated_keys | extra_exclude
         values = self._feasible_values
+        profiler = self.phase_profiler
 
         # nothing told back yet (e.g. ask(n) straight after start with n
         # beyond the DoE): skip the feasibility fit — vstack of zero rows is
         # an error — and let the too-few-values guard below go random
         if self._feasibility is not None and self._space_rows_all:
-            self._feasibility.fit_rows(
-                np.vstack(self._space_rows_all), self._feasible_flags
-            )
+            with profiler.phase("fit"):
+                self._feasibility.fit_rows(
+                    np.vstack(self._space_rows_all), self._feasible_flags
+                )
 
         # Not enough feasible data to fit the surrogate: keep exploring randomly.
         if len(values) < 2 or len(set(values)) < 2:
@@ -484,7 +556,8 @@ class BacoTuner(Tuner):
             if surrogate_kind == "gp" and self._auto_rf_active(values):
                 surrogate_kind = "rf"
         if surrogate_kind == "rf":
-            acquisition = self._fit_rf_acquisition(self._make_surrogate("rf"), values)
+            with profiler.phase("fit"):
+                acquisition = self._fit_rf_acquisition(self._make_surrogate("rf"), values)
         else:
             if len(self._gp_distance_cache) != len(values):
                 # programming error (e.g. an _observe override skipping
@@ -495,17 +568,19 @@ class BacoTuner(Tuner):
                     f"rows but there are {len(values)} feasible observations"
                 )
             if self._policy.mode == "fast":
-                surrogate = self._fit_fast_gp(values)
+                with profiler.phase("fit"):
+                    surrogate = self._fit_fast_gp(values)
                 if surrogate is None:
                     return self._random_fallback_batch(k, exclude)
             else:
                 surrogate = self._make_surrogate("gp")
                 try:
-                    surrogate.fit_rows(
-                        self._gp_distance_cache.rows,
-                        values,
-                        distance_tensor=self._gp_distance_cache.tensor,
-                    )
+                    with profiler.phase("fit"):
+                        surrogate.fit_rows(
+                            self._gp_distance_cache.rows,
+                            values,
+                            distance_tensor=self._gp_distance_cache.tensor,
+                        )
                 except (ValueError, np.linalg.LinAlgError):
                     return self._random_fallback_batch(k, exclude)
             epsilon = self._epsilon_schedule.sample(self._rng)
@@ -515,6 +590,7 @@ class BacoTuner(Tuner):
                 feasibility_model=self._feasibility,
                 feasibility_threshold=epsilon,
                 noiseless=self.settings.noiseless_ei,
+                profiler=profiler,
             )
 
         settings = LocalSearchSettings(
@@ -522,14 +598,94 @@ class BacoTuner(Tuner):
             n_starts=self.settings.n_local_search_starts,
             max_steps=self.settings.max_local_search_steps if self.settings.use_local_search else 0,
         )
-        ranked = multistart_local_search_batch(
-            self.space, acquisition, self._rng, settings=settings, exclude=exclude, k=k
-        )
+        if self._policy.pool_size is not None and surrogate_kind == "gp":
+            ranked = self._pooled_search(acquisition, settings, exclude, k)
+        else:
+            ranked = multistart_local_search_batch(
+                self.space,
+                acquisition,
+                self._rng,
+                settings=settings,
+                exclude=exclude,
+                k=k,
+                profiler=profiler,
+            )
         chosen = [config for config, value in ranked if np.isfinite(value)]
         while len(chosen) < k:
             taken = exclude | {self.space.freeze(c) for c in chosen}
             chosen.append(self._random_fallback(taken))
         return chosen
+
+    def _pooled_search(
+        self,
+        acquisition: AcquisitionFunction,
+        settings: LocalSearchSettings,
+        exclude: set[tuple],
+        k: int,
+    ) -> list[tuple[Configuration, float]]:
+        """One ask over the persistent candidate pool (``pool=N`` policies).
+
+        The pool lifecycle implements lazy invalidation: the first ask draws
+        ``pool_size`` feasible rows, later asks resample only the slots the
+        previous ask consumed as climb starts or found dead under its ε_f
+        (acquisition ``-inf``).  When the cross-distance cache is active the
+        pool's test–train distance columns are maintained alongside — new
+        observations append column blocks, resampled slots recompute their
+        row — so priming the pool through the surrogate is a pure
+        kernel-apply with no distance computation.
+        """
+        profiler = self.phase_profiler
+        pool_size = self._policy.pool_size
+        refreshed: list[int] = []
+        full_redraw = False
+        with profiler.phase("sample"):
+            if self._candidate_pool is None or len(self._candidate_pool) != pool_size:
+                self._candidate_pool = np.array(
+                    self.space.sample_rows(self._rng, pool_size), copy=True
+                )
+                self._pool_refill = []
+                full_redraw = True
+            elif self._pool_refill:
+                refreshed = sorted(set(self._pool_refill))
+                self._candidate_pool[refreshed] = self.space.sample_rows(
+                    self._rng, len(refreshed)
+                )
+                self._pool_refill = []
+        pool = self._candidate_pool
+
+        cross_view = None
+        if self._policy.cross_cache and self._shared_model_encoding:
+            cross = self._cross_distance
+            train_rows = self._gp_distance_cache.rows
+            if full_redraw or cross.n_pool != len(pool):
+                cross.set_pool(pool, train_rows)
+            else:
+                if len(cross) < len(train_rows):
+                    cross.extend_train(train_rows[len(cross) :])
+                if refreshed:
+                    cross.refresh_pool_rows(refreshed, pool[refreshed], train_rows)
+            cross_view = cross.tensor
+
+        scorer = FusedAcquisitionScorer(acquisition, self._space_encoder)
+        pool_values = scorer.prime_pool(pool, cross_distance=cross_view)
+        ranked, consumed = pooled_local_search_batch(
+            self.space,
+            scorer,
+            pool,
+            pool_values,
+            settings=settings,
+            exclude=exclude,
+            k=k,
+            neighbour_cache=self._neighbour_cache,
+            profiler=profiler,
+        )
+        # Slots to resample before the next ask: consumed starts (their rows
+        # were either proposed or climbed away from) plus everything the
+        # current ε_f filtered out — the next ε is redrawn, so dead rows are
+        # stale, not permanently infeasible.
+        stale = np.nonzero(~np.isfinite(pool_values))[0]
+        self._pool_refill = sorted({*(int(i) for i in consumed), *(int(i) for i in stale)})
+        return ranked
 
     def _auto_rf_active(self, values: list[float]) -> bool:
         """Decide (and latch) the measured GP→RF switch for ``rf_at=auto``.
@@ -650,6 +806,16 @@ class BacoTuner(Tuner):
                 # only auto mode carries timing state; plain fast snapshots
                 # keep their historical key set
                 payload["auto_rf"] = dict(self._auto_rf_state)
+            if self._policy.pool_size is not None:
+                # the pool rows themselves must be snapshotted — their RNG
+                # draws are already consumed, so a resumed run cannot redraw
+                # them without diverging from the original stream
+                payload["pool_rows"] = (
+                    None
+                    if self._candidate_pool is None
+                    else [[float(x) for x in row] for row in self._candidate_pool]
+                )
+                payload["pool_refill"] = [int(i) for i in self._pool_refill]
             state["surrogate_policy"] = payload
         return state
 
@@ -666,6 +832,11 @@ class BacoTuner(Tuner):
                 "hypers": payload.get("hypers"),
             }
             self._restored_chol_base_n = int(payload.get("chol_base_n", 0))
+            pool_rows = payload.get("pool_rows")
+            self._candidate_pool = (
+                None if pool_rows is None else np.asarray(pool_rows, dtype=float)
+            )
+            self._pool_refill = [int(i) for i in payload.get("pool_refill", [])]
             self._auto_rf_state = dict(_AUTO_RF_STATE_EMPTY)
             auto = payload.get("auto_rf")
             if isinstance(auto, Mapping):
@@ -685,6 +856,18 @@ class BacoTuner(Tuner):
         """
         if self._policy.mode == "exact":
             return
+        if (
+            self._candidate_pool is not None
+            and self._policy.cross_cache
+            and self._shared_model_encoding
+            and len(self._feasible_values) >= 2
+        ):
+            # rebuild the pool's cross-distance cache from the replayed
+            # history; block assembly is bit-identical to a fresh pairwise
+            # computation, so the resumed predicts match the original run
+            self._cross_distance.set_pool(
+                self._candidate_pool, self._gp_distance_cache.rows
+            )
         if self._auto_rf_state["active_from"] is not None:
             # the auto latch engaged before the snapshot: the run is on the
             # RF surrogate for good, so there is no GP factor to rebuild
@@ -770,11 +953,7 @@ class _RFAcquisition:
 
     def _from_rows(self, rows: np.ndarray) -> np.ndarray:
         mean, var = self.surrogate.predict_with_uncertainty(rows)
-        std = np.sqrt(np.maximum(var, 1e-18))
-        improvement = self.best - mean
-        z = improvement / std
-        ei = improvement * stats.norm.cdf(z) + std * stats.norm.pdf(z)
-        ei = np.maximum(ei, 0.0)
+        ei = expected_improvement(mean, var, self.best)
         if self.feasibility is not None and self.feasibility.is_trained:
             probability = self.feasibility.predict_probability_rows(rows)
             ei = np.where(probability >= self.epsilon, ei * probability, -np.inf)

@@ -25,6 +25,7 @@ for the returned winners, i.e. at the tuner boundary.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
 import numpy as np
@@ -35,9 +36,15 @@ __all__ = [
     "LocalSearchSettings",
     "multistart_local_search",
     "multistart_local_search_batch",
+    "pooled_local_search_batch",
     "random_candidates",
     "random_candidate_rows",
 ]
+
+#: cross-ask neighbour-matrix cache entries kept before FIFO eviction; the
+#: space is immutable, so a row's feasible neighbourhood is a pure function
+#: of the row and entries never go stale — the cap only bounds memory
+_NEIGHBOUR_CACHE_MAX = 4096
 
 
 class LocalSearchSettings:
@@ -138,6 +145,7 @@ def multistart_local_search_batch(
     settings: LocalSearchSettings | None = None,
     exclude: Iterable[tuple] = (),
     k: int = 1,
+    profiler: Any | None = None,
 ) -> list[tuple[Configuration, float]]:
     """The top-``k`` distinct configurations according to ``acquisition``.
 
@@ -145,6 +153,12 @@ def multistart_local_search_batch(
     batch: the per-start local optima are ranked by acquisition value
     (de-duplicated by frozen key) and, when fewer than ``k`` remain, the
     ranked random candidates back-fill the rest.
+
+    ``profiler`` — optional :class:`~repro.core.profiling.PhaseProfiler`;
+    attributes the candidate draw to ``"sample"`` and the climb bookkeeping to
+    ``"climb"`` (scoring attributes itself to ``"predict"``/``"ei"`` through
+    the acquisition).  Pure observation: the search is byte-identical with and
+    without it.
     """
     if k < 1:
         raise ValueError("k must be >= 1")
@@ -153,9 +167,13 @@ def multistart_local_search_batch(
     scorer = _row_scorer(acquisition, space)
     decode = space.encoder.decode
 
-    candidates = random_candidate_rows(
-        space, settings.n_random_samples, rng, biased_cot=settings.biased_cot
-    )
+    def _phase(name: str):
+        return profiler.phase(name) if profiler is not None else nullcontext()
+
+    with _phase("sample"):
+        candidates = random_candidate_rows(
+            space, settings.n_random_samples, rng, biased_cot=settings.biased_cot
+        )
     if len(candidates) == 0:
         return []
     values = scorer(candidates)
@@ -174,23 +192,25 @@ def multistart_local_search_batch(
     for _ in range(settings.max_steps):
         if not active:
             break
-        batch, owners = space.neighbour_rows_batch(current[active])
+        with _phase("climb"):
+            batch, owners = space.neighbour_rows_batch(current[active])
         if len(batch) == 0:
             break
         batch_values = scorer(batch)
-        still_active: list[int] = []
-        for position, start_index in enumerate(active):
-            span = np.nonzero(owners == position)[0]
-            if len(span) == 0:
-                continue
-            span_values = batch_values[span]
-            best = int(np.argmax(span_values))
-            if span_values[best] <= current_values[start_index]:
-                continue
-            current[start_index] = batch[span[best]]
-            current_values[start_index] = float(span_values[best])
-            still_active.append(start_index)
-        active = still_active
+        with _phase("climb"):
+            still_active: list[int] = []
+            for position, start_index in enumerate(active):
+                span = np.nonzero(owners == position)[0]
+                if len(span) == 0:
+                    continue
+                span_values = batch_values[span]
+                best = int(np.argmax(span_values))
+                if span_values[best] <= current_values[start_index]:
+                    continue
+                current[start_index] = batch[span[best]]
+                current_values[start_index] = float(span_values[best])
+                still_active.append(start_index)
+            active = still_active
 
     # Per start: the first non-excluded of (climbed optimum, original start),
     # kept only when its value beats -inf (NaN and -inf never win).
@@ -236,3 +256,169 @@ def multistart_local_search_batch(
         taken.add(key)
         results.append((config, float(values[i])))
     return results
+
+
+def pooled_local_search_batch(
+    space: SearchSpace,
+    scorer: Any,
+    pool_rows: np.ndarray,
+    pool_values: np.ndarray,
+    settings: LocalSearchSettings | None = None,
+    exclude: Iterable[tuple] = (),
+    k: int = 1,
+    neighbour_cache: dict[bytes, np.ndarray] | None = None,
+    profiler: Any | None = None,
+) -> tuple[list[tuple[Configuration, float]], list[int]]:
+    """Lockstep climb over a *persistent*, pre-scored candidate pool.
+
+    The cached counterpart of :func:`multistart_local_search_batch`: instead
+    of drawing a fresh random batch, the caller hands in the cross-ask pool
+    (``pool_rows``) together with its acquisition values (``pool_values``,
+    typically from :meth:`~repro.core.acquisition.FusedAcquisitionScorer.
+    prime_pool` over the cached cross-distance tensor), and ``scorer`` is a
+    :class:`~repro.core.acquisition.FusedAcquisitionScorer` whose memo folds
+    away re-visited rows during the climb.
+
+    Two cache layers make the climb cheap:
+
+    * ``neighbour_cache`` maps ``row.tobytes()`` to that row's feasible
+      neighbour matrix.  Neighbourhoods are pure functions of the row (the
+      space is immutable), so the cache persists *across asks*; only rows
+      never climbed through before pay a ``neighbour_rows_batch`` call.
+    * the scorer's per-ask memo deduplicates acquisition evaluations across
+      overlapping neighbourhoods and re-visited rows.
+
+    Dead starts are pruned up front: rows whose pooled value is ``-inf`` or
+    NaN (ε_f-filtered or otherwise unscorable) never seed a climb.  The
+    winner / ranking / de-dup / back-fill contract is identical to
+    :func:`multistart_local_search_batch`.
+
+    Returns ``(ranked, start_indices)`` where ``start_indices`` are the pool
+    row indices consumed as climb starts — the caller refreshes exactly those
+    slots before the next ask.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    settings = settings or LocalSearchSettings()
+    excluded = set(exclude)
+    decode = space.encoder.decode
+    if neighbour_cache is None:
+        neighbour_cache = {}
+
+    def _phase(name: str):
+        return profiler.phase(name) if profiler is not None else nullcontext()
+
+    pool_values = np.asarray(pool_values, dtype=float)
+    if len(pool_rows) == 0:
+        return [], []
+    order = np.argsort(-pool_values)
+
+    # Start selection with dead-start pruning: walk the ranking, keep distinct
+    # rows with finite acquisition values.  A pool drained to all--inf (every
+    # candidate below ε_f) yields no starts and the caller falls back to
+    # random sampling.
+    start_indices: list[int] = []
+    seen_start_keys: set[bytes] = set()
+    for i in order:
+        if len(start_indices) == settings.n_starts:
+            break
+        if not np.isfinite(pool_values[i]):
+            continue
+        key = pool_rows[i].tobytes()
+        if key in seen_start_keys:
+            continue
+        seen_start_keys.add(key)
+        start_indices.append(int(i))
+    if not start_indices:
+        return [], []
+
+    n_starts = len(start_indices)
+    starts = pool_rows[start_indices].copy()
+    start_values = pool_values[start_indices].astype(float)
+    current = starts.copy()
+    current_values = start_values.copy()
+    active = list(range(n_starts))
+
+    for _ in range(settings.max_steps):
+        if not active:
+            break
+        with _phase("climb"):
+            # Gather neighbour matrices: cache hits are free, the misses are
+            # expanded in one batched call and split by owner.
+            mats: list[np.ndarray | None] = []
+            missing_positions: list[int] = []
+            for position in range(len(active)):
+                mat = neighbour_cache.get(current[active[position]].tobytes())
+                if mat is None:
+                    missing_positions.append(position)
+                mats.append(mat)
+            if missing_positions:
+                expand_rows = current[[active[p] for p in missing_positions]]
+                batch, owners = space.neighbour_rows_batch(expand_rows)
+                for j, position in enumerate(missing_positions):
+                    mat = np.array(batch[owners == j], copy=True)
+                    neighbour_cache[expand_rows[j].tobytes()] = mat
+                    mats[position] = mat
+                while len(neighbour_cache) > _NEIGHBOUR_CACHE_MAX:
+                    neighbour_cache.pop(next(iter(neighbour_cache)))
+            lengths = [len(mat) for mat in mats]
+            total = sum(lengths)
+            if total == 0:
+                break
+            fused = np.concatenate([mat for mat in mats if len(mat)], axis=0)
+        fused_values = scorer.score_rows(fused)
+        with _phase("climb"):
+            still_active: list[int] = []
+            offset = 0
+            for position, start_index in enumerate(active):
+                length = lengths[position]
+                if length == 0:
+                    continue
+                span_values = fused_values[offset : offset + length]
+                best = int(np.argmax(span_values))
+                if span_values[best] > current_values[start_index]:
+                    current[start_index] = mats[position][best]
+                    current_values[start_index] = float(span_values[best])
+                    still_active.append(start_index)
+                offset += length
+            active = still_active
+
+    winners: list[tuple[Configuration, float]] = []
+    for i in range(n_starts):
+        candidate_pool = [
+            (current[i], float(current_values[i])),
+            (starts[i], float(start_values[i])),
+        ]
+        for row, row_value in candidate_pool:
+            config = decode(row)
+            if space.freeze(config) in excluded:
+                continue
+            if row_value > -np.inf:
+                winners.append((config, row_value))
+            break
+    winners.sort(key=lambda pair: -pair[1])
+
+    results: list[tuple[Configuration, float]] = []
+    taken: set[tuple] = set()
+    for config, config_value in winners:
+        key = space.freeze(config)
+        if key in taken:
+            continue
+        taken.add(key)
+        results.append((config, config_value))
+        if len(results) == k:
+            return results, start_indices
+
+    # Back-fill from the ranked pool itself, mirroring the random-batch path.
+    for i in order:
+        if len(results) == k:
+            break
+        if not np.isfinite(pool_values[i]):
+            continue
+        config = decode(pool_rows[i])
+        key = space.freeze(config)
+        if key in excluded or key in taken:
+            continue
+        taken.add(key)
+        results.append((config, float(pool_values[i])))
+    return results, start_indices

@@ -216,6 +216,17 @@ class TuningSession:
             issued = list(self._pending.values()) + list(self._reissue)
         return tuple(sorted(issued, key=lambda s: s.id))
 
+    @property
+    def phase_timings(self) -> dict[str, Any]:
+        """Per-phase wall-clock breakdown of the tuner's recommendation loop.
+
+        Delegates to the tuner's :class:`~repro.core.profiling.PhaseProfiler`
+        summary — seconds and call counts for sample/fit/predict/ei/climb.
+        Timings are process-local observations (they are not part of
+        snapshots and reset when the tuner state is rebuilt on restore).
+        """
+        return self.tuner.phase_profiler.summary()
+
     # ------------------------------------------------------------------
     def ask(self, n: int = 1) -> list[Suggestion]:
         """Propose up to ``n`` configurations to evaluate next.

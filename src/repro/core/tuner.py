@@ -28,6 +28,7 @@ from typing import TYPE_CHECKING, Any, Mapping
 import numpy as np
 
 from ..space.space import Configuration, SearchSpace
+from .profiling import PhaseProfiler
 from .result import (
     ObjectiveFunction,
     ObjectiveResult,
@@ -62,6 +63,9 @@ class Tuner(ABC):
         self._objective: ObjectiveFunction | None = None
         self._evaluated_keys: set[tuple] = set()
         self._doe_queue: deque[Configuration] = deque()
+        #: wall-clock per recommendation-loop phase (sample/fit/predict/ei/
+        #: climb); pure observation, never consulted by the tuner itself
+        self.phase_profiler = PhaseProfiler()
 
     # ------------------------------------------------------------------
     # the ask/tell session surface
@@ -119,6 +123,7 @@ class Tuner(ABC):
         checkpoint-restore path calls this before replaying the history."""
         self._evaluated_keys = set()
         self._doe_queue = deque()
+        self.phase_profiler.reset()
 
     def _plan(self, budget: int) -> None:
         """Draw any up-front design (DoE).  Only called for fresh sessions."""

@@ -501,7 +501,10 @@ class GaussianProcess:
         )
 
     def predict_rows(
-        self, rows: np.ndarray, include_noise: bool = False
+        self,
+        rows: np.ndarray,
+        include_noise: bool = False,
+        cross_distance: np.ndarray | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Predictive mean and variance for pre-encoded rows (model scale).
 
@@ -509,11 +512,28 @@ class GaussianProcess:
         batch.  ``include_noise=False`` returns the latent (noise-free)
         predictive variance used by BaCO's modified EI, which discourages
         re-sampling already-observed configurations.
+
+        ``cross_distance`` — when the caller maintains the test-train cross
+        tensor incrementally (see
+        :class:`~repro.models.distances.CrossDistanceTensor`), passing the
+        ``(D, len(rows), n_train)`` tensor here turns the predict into a pure
+        kernel-apply: no distance computation at all.  It must be the cross
+        tensor of ``rows`` against the fitted training rows.
         """
         if not self.is_fitted:
             raise RuntimeError("predict() called before fit()")
         hp = self.hyperparameters
-        cross = self._distance.pairwise_rows(np.asarray(rows, dtype=float), self._train_rows)
+        if cross_distance is not None:
+            cross = np.asarray(cross_distance, dtype=float)
+            expected = (self._distance.n_dimensions, len(rows), len(self._train_rows))
+            if cross.shape != expected:
+                raise ValueError(
+                    f"cross-distance tensor has shape {cross.shape}, expected {expected}"
+                )
+        else:
+            cross = self._distance.pairwise_rows(
+                np.asarray(rows, dtype=float), self._train_rows
+            )
         k_star = self._kernel(cross, hp.lengthscales, hp.outputscale)
         mean = k_star @ self._alpha
         v = linalg.solve_triangular(self._cholesky, k_star.T, lower=True)

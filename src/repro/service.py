@@ -559,6 +559,7 @@ class SessionRegistry:
                 "pending_ids": [s.id for s in session.pending],
                 "best_value": json_safe(session.history.best_value()),
                 "done": session.done,
+                "timings": session.phase_timings,
             }
 
     def _op_snapshot(self, request: Mapping[str, Any]) -> dict[str, Any]:

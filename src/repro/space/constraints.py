@@ -665,7 +665,12 @@ def _compile_atom_reducer(node: ast.Compare) -> DomainReducer | None:
                     return {}
             return {} if satisfied else _INFEASIBLE
         if any(domains[v].is_empty for v in unfixed):
-            return {}
+            # GAC with an empty participant: no tuple of the atom has support,
+            # so every unfixed variable of the atom empties.  Propagating the
+            # emptiness through the constraint (instead of skipping it) keeps
+            # the reducer monotone, which is what makes the fixed point
+            # order-independent.
+            return {v: domains[v].empty_like() for v in unfixed}
         discrete = [v for v in unfixed if domains[v].kind == "discrete"]
         intervals = [v for v in unfixed if domains[v].kind == "interval"]
         if not intervals:
@@ -919,8 +924,6 @@ def propagate_domains(
                 if dom != current[name]:
                     current[name] = dom
                     changed = True
-            if any(current[v].is_empty for v in reducer.variables if v in current):
-                return current, rounds
         if not changed:
             break
     return current, rounds
