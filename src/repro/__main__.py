@@ -55,6 +55,7 @@ import sys
 from dataclasses import replace
 from pathlib import Path
 
+from .analysis import cli as analysis_cli
 from .core.result import TuningHistory
 from .experiments.config import ExperimentConfig, default_config
 from .experiments.figures import suite_benchmarks
@@ -647,6 +648,16 @@ def main(argv: list[str] | None = None) -> int:
         help="quarter-size problem instances (CI smoke mode)",
     )
     bench_parser.set_defaults(handler=_cmd_bench)
+
+    check_parser = subparsers.add_parser(
+        "check",
+        help="run the static invariant checker (see repro.analysis)",
+        description="AST-based linter enforcing the repo's determinism, "
+        "snapshot, lock, strict-JSON, float-determinism and hot-path "
+        "contracts.  Exits non-zero on any unsuppressed finding.",
+    )
+    analysis_cli.add_check_arguments(check_parser)
+    check_parser.set_defaults(handler=analysis_cli.cmd_check)
 
     args = parser.parse_args(argv)
     try:

@@ -1,0 +1,33 @@
+"""Static invariant checking for the reproduction codebase.
+
+``repro.analysis`` is a small, stdlib-only AST linter that mechanically
+enforces the repo's load-bearing contracts — determinism (all randomness
+flows through a passed ``rng``), snapshot completeness (mutable tuner state
+rides ``_state_dict``), lock discipline in the threaded TCP tier, the
+strict-JSON wire convention, float-determinism (``np.log`` is not bitwise
+``math.log``), and hot-path purity (no per-row Python loops in vectorized
+modules).
+
+Run it as ``python -m repro check``; see :mod:`repro.analysis.engine` for
+the programmatic entry point and :mod:`repro.analysis.rules` for the rules.
+
+Findings are suppressed per line with a justified marker comment::
+
+    self._cache[key] = value  # repro: allow[snapshot-drift] rebuilt lazily, pure function of rows
+
+The justification text after the bracket is mandatory; a bare
+``# repro: allow[rule-id]`` is itself reported as a finding.
+"""
+
+from .base import Finding, Rule, all_rules, get_rule, register_rule
+from .engine import Report, run_check
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "Report",
+    "all_rules",
+    "get_rule",
+    "register_rule",
+    "run_check",
+]

@@ -1,0 +1,161 @@
+"""Core datatypes of the invariant checker: findings, rules, the registry."""
+
+from __future__ import annotations
+
+import ast
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .source import Project
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "register_rule",
+    "get_rule",
+    "all_rules",
+    "dotted_name",
+    "iter_scopes",
+    "scope_body_nodes",
+]
+
+
+@dataclass
+class Finding:
+    """One rule violation, anchored at a ``path:line`` location.
+
+    ``suppressed`` / ``justification`` are filled in by the engine when a
+    valid ``# repro: allow[rule-id] <why>`` comment covers the line.
+    """
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    hint: str = ""
+    suppressed: bool = False
+    justification: str = ""
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}"
+
+    def to_json(self) -> dict:
+        payload = {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "hint": self.hint,
+        }
+        if self.suppressed:
+            payload["suppressed"] = True
+            payload["justification"] = self.justification
+        return payload
+
+
+class Rule(ABC):
+    """A single invariant, checked over the whole parsed project at once.
+
+    Rules are project-scoped (not per-file) so cross-module checks — e.g.
+    resolving a ``Tuner`` subclass hierarchy spread over several files — need
+    no special casing.  Per-module rules simply iterate
+    ``project.modules``.
+    """
+
+    #: stable identifier used in ``--select`` / ``--ignore`` and suppressions
+    id: str = ""
+    #: one-line description shown by ``--list-rules``
+    summary: str = ""
+    #: which repo invariant the rule guards (shown in the human report)
+    invariant: str = ""
+
+    @abstractmethod
+    def check(self, project: "Project") -> Iterable[Finding]:
+        """Yield findings over the parsed project."""
+
+
+_REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register_rule(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the global registry (by ``id``)."""
+    rule_id = cls.id
+    if not rule_id:
+        raise ValueError(f"rule {cls.__name__} has no id")
+    if rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule_id!r}")
+    _REGISTRY[rule_id] = cls
+    return cls
+
+
+def get_rule(rule_id: str) -> type[Rule]:
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown rule {rule_id!r}; known rules: {', '.join(sorted(_REGISTRY))}"
+        ) from None
+
+
+def all_rules() -> dict[str, type[Rule]]:
+    """Registered rules, keyed by id (import :mod:`.rules` to populate)."""
+    return dict(_REGISTRY)
+
+
+# ----------------------------------------------------------------------
+# shared AST helpers
+# ----------------------------------------------------------------------
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, ``None`` for anything else."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def iter_scopes(
+    tree: ast.Module,
+) -> Iterator[tuple[str, ast.Module | ast.FunctionDef | ast.AsyncFunctionDef]]:
+    """Yield ``(qualified_name, scope_node)`` for the module and every def.
+
+    The module itself is yielded as ``("<module>", tree)``; functions nested
+    in classes get ``Class.method`` names.
+    """
+    yield "<module>", tree
+
+    def walk(node: ast.AST, prefix: str) -> Iterator:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                name = f"{prefix}{child.name}"
+                yield name, child
+                yield from walk(child, f"{name}.")
+            elif isinstance(child, ast.ClassDef):
+                yield from walk(child, f"{prefix}{child.name}.")
+
+    yield from walk(tree, "")
+
+
+def scope_body_nodes(
+    scope: ast.Module | ast.FunctionDef | ast.AsyncFunctionDef,
+) -> Iterator[ast.AST]:
+    """Walk a scope's body without descending into nested function defs.
+
+    Used by rules whose unit of analysis is one function: calls inside a
+    nested def belong to the nested scope, which :func:`iter_scopes` yields
+    separately.
+    """
+    stack: list[ast.AST] = list(ast.iter_child_nodes(scope))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))

@@ -1,0 +1,89 @@
+"""``python -m repro check`` — CLI front end for the invariant checker.
+
+Kept separate from :mod:`repro.__main__` so the checker stays importable
+and testable without the numpy-heavy experiment stack.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from .engine import run_check
+
+__all__ = ["add_check_arguments", "cmd_check", "default_check_root"]
+
+
+def default_check_root() -> Path:
+    """The ``repro`` package directory — what a bare ``repro check`` scans."""
+    return Path(__file__).resolve().parent.parent
+
+
+def add_check_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to check (default: the repro package)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="output format (default: human)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        default=None,
+        metavar="RULE[,RULE...]",
+        help="run only these rules (repeatable, comma-separated)",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        default=None,
+        metavar="RULE[,RULE...]",
+        help="skip these rules (repeatable, comma-separated)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules and exit",
+    )
+
+
+def _split_ids(values: list[str] | None) -> list[str] | None:
+    if not values:
+        return None
+    out: list[str] = []
+    for value in values:
+        out.extend(part.strip() for part in value.split(",") if part.strip())
+    return out or None
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    # importing the rules package populates the registry
+    from . import rules as _rules  # noqa: F401
+    from .base import all_rules
+
+    if args.list_rules:
+        for rule_id, cls in sorted(all_rules().items()):
+            print(f"{rule_id:20s} {cls.summary}")
+            print(f"{'':20s}   guards: {cls.invariant}")
+        return 0
+
+    paths = [p for p in args.paths] or [default_check_root()]
+    try:
+        report = run_check(
+            paths, select=_split_ids(args.select), ignore=_split_ids(args.ignore)
+        )
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}")
+        return 2
+
+    if args.format == "json":
+        print(report.render_json())
+    else:
+        print(report.render_human(root=Path.cwd()))
+    return 0 if report.ok else 1

@@ -1,0 +1,166 @@
+"""Run registered rules over a source tree and apply suppressions.
+
+The engine is the only layer that knows about suppression comments: rules
+emit every violation they see, then :func:`run_check` marks findings covered
+by a justified ``# repro: allow[rule-id]`` comment as suppressed and reports
+malformed suppressions (missing justification) as first-class findings so a
+bare allow comment can never silently disable a rule.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from .base import Finding, all_rules
+from .source import Project, load_project
+
+__all__ = ["Report", "run_check", "resolve_rule_ids"]
+
+#: pseudo rule id for engine-level suppression hygiene findings
+SUPPRESSION_RULE = "invalid-suppression"
+
+
+@dataclass
+class Report:
+    """Outcome of one checker run."""
+
+    rules: list[str]
+    findings: list[Finding] = field(default_factory=list)  # unsuppressed
+    suppressed: list[Finding] = field(default_factory=list)
+    checked_files: int = 0
+    parse_errors: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and not self.parse_errors
+
+    def to_json(self) -> dict:
+        return {
+            "ok": self.ok,
+            "checked_files": self.checked_files,
+            "rules": self.rules,
+            "findings": [f.to_json() for f in self.findings],
+            "suppressed": [f.to_json() for f in self.suppressed],
+            "parse_errors": self.parse_errors,
+        }
+
+    def render_json(self) -> str:
+        return json.dumps(self.to_json(), indent=2, allow_nan=False)
+
+    def render_human(self, root: Path | None = None) -> str:
+        lines: list[str] = []
+        for finding in self.findings:
+            path = finding.path
+            if root is not None:
+                try:
+                    path = str(Path(path).relative_to(root))
+                except ValueError:
+                    pass
+            lines.append(f"{path}:{finding.line}: [{finding.rule}] {finding.message}")
+            if finding.hint:
+                lines.append(f"    hint: {finding.hint}")
+        for error in self.parse_errors:
+            lines.append(f"error: {error}")
+        lines.append(
+            f"{len(self.findings)} finding(s) "
+            f"({len(self.suppressed)} suppressed) across "
+            f"{self.checked_files} file(s); rules: {', '.join(self.rules)}"
+        )
+        return "\n".join(lines)
+
+
+def resolve_rule_ids(
+    select: Sequence[str] | None = None, ignore: Sequence[str] | None = None
+) -> list[str]:
+    """Rule ids to run, honouring ``--select`` / ``--ignore``.
+
+    Raises ``KeyError`` for an unknown id so typos fail loudly instead of
+    silently checking nothing.
+    """
+    registry = all_rules()
+    for rule_id in list(select or []) + list(ignore or []):
+        if rule_id not in registry:
+            raise KeyError(
+                f"unknown rule {rule_id!r}; known rules: {', '.join(sorted(registry))}"
+            )
+    chosen = list(select) if select else sorted(registry)
+    if ignore:
+        chosen = [rule_id for rule_id in chosen if rule_id not in ignore]
+    return chosen
+
+
+def _suppression_findings(project: Project) -> list[Finding]:
+    """Report malformed or unknown-id allow comments."""
+    known = set(all_rules()) | {SUPPRESSION_RULE}
+    findings: list[Finding] = []
+    for module in project.modules:
+        for supp in module.suppressions:
+            if not supp.justification:
+                findings.append(
+                    Finding(
+                        rule=SUPPRESSION_RULE,
+                        path=str(module.path),
+                        line=supp.line,
+                        message=(
+                            "suppression without justification: "
+                            f"allow[{','.join(supp.rule_ids)}] needs a reason "
+                            "after the bracket (and suppresses nothing without one)"
+                        ),
+                        hint="write `# repro: allow[rule-id] <one-line why>`",
+                    )
+                )
+            for rule_id in supp.rule_ids:
+                if rule_id not in known:
+                    findings.append(
+                        Finding(
+                            rule=SUPPRESSION_RULE,
+                            path=str(module.path),
+                            line=supp.line,
+                            message=f"suppression names unknown rule {rule_id!r}",
+                            hint="see `python -m repro check --list-rules`",
+                        )
+                    )
+    return findings
+
+
+def run_check(
+    paths: Sequence[Path | str],
+    select: Sequence[str] | None = None,
+    ignore: Sequence[str] | None = None,
+) -> Report:
+    """Parse ``paths``, run the chosen rules, and fold in suppressions."""
+    # populate the registry
+    from . import rules as _rules  # noqa: F401
+
+    chosen = resolve_rule_ids(select, ignore)
+    project = load_project(Path(p) for p in paths)
+    registry = all_rules()
+
+    raw: list[Finding] = []
+    for rule_id in chosen:
+        raw.extend(registry[rule_id]().check(project))
+    raw.extend(_suppression_findings(project))
+    raw.sort(key=lambda f: (f.path, f.line, f.rule))
+
+    by_path = {str(module.path): module for module in project.modules}
+    report = Report(
+        rules=chosen,
+        checked_files=len(project.modules),
+        parse_errors=list(project.errors),
+    )
+    for finding in raw:
+        module = by_path.get(finding.path)
+        supp = (
+            module.suppression_for(finding.rule, finding.line) if module else None
+        )
+        if supp is not None and finding.rule != SUPPRESSION_RULE:
+            supp.used = True
+            finding.suppressed = True
+            finding.justification = supp.justification
+            report.suppressed.append(finding)
+        else:
+            report.findings.append(finding)
+    return report

@@ -1,0 +1,14 @@
+"""Project-specific invariant rules.
+
+Importing this package registers every rule with
+:func:`repro.analysis.base.register_rule`.
+"""
+
+from . import (  # noqa: F401
+    floats,
+    hot_path,
+    locks,
+    rng,
+    snapshot,
+    strict_json,
+)

@@ -1,0 +1,98 @@
+"""float-determinism: don't mix ``math.*`` and ``np.*`` transcendentals.
+
+PR 4 established that ``np.log`` is *not* bitwise-identical to ``math.log``
+on every libm (vectorized kernels may use different polynomial splits), so
+the encoding layer routes every scalar warp through ``math.log``/``math.exp``
+(via ``np.frompyfunc``) and keeps the vectorized column paths on one family.
+A function that feeds the same dataflow through both families produces
+values that differ in the last ulp between the scalar and batch paths —
+exactly the drift the bit-compat fixtures exist to catch.
+
+Scope: hot-path-marked modules plus the encoding/kernel layers explicitly.
+``math`` calls whose arguments are all numeric literals (e.g.
+``math.log(2.0 * math.pi)``) are constants, not dataflow, and are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..base import Finding, Rule, iter_scopes, register_rule, scope_body_nodes
+from ..source import Project
+
+#: always in scope, marker or not — the layers PR 4's convention lives in
+EXPLICIT_MODULES = {"encoding", "kernels"}
+
+#: the transcendental family where scalar/vector libm kernels may disagree
+TRANSCENDENTALS = {
+    "log",
+    "log1p",
+    "log2",
+    "log10",
+    "exp",
+    "expm1",
+    "sqrt",
+    "pow",
+}
+
+_NUMPY_ALIASES = {"np", "numpy"}
+
+
+def _literal_args(node: ast.Call) -> bool:
+    def literal(expr: ast.expr) -> bool:
+        if isinstance(expr, ast.Constant):
+            return isinstance(expr.value, (int, float))
+        if isinstance(expr, ast.UnaryOp):
+            return literal(expr.operand)
+        if isinstance(expr, ast.BinOp):
+            return literal(expr.left) and literal(expr.right)
+        if isinstance(expr, ast.Attribute):
+            # math.pi / np.e style named constants
+            return isinstance(expr.value, ast.Name) and expr.attr in ("pi", "e")
+        return False
+
+    return all(literal(arg) for arg in node.args) and not node.keywords
+
+
+@register_rule
+class FloatDeterminism(Rule):
+    id = "float-determinism"
+    summary = "flag functions mixing math.* and np.* transcendentals"
+    invariant = "np.log is not bitwise math.log on this libm (PR 4)"
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        for module in project.modules:
+            if not (module.hot_path or module.basename in EXPLICIT_MODULES):
+                continue
+            for scope_name, scope in iter_scopes(module.tree):
+                math_calls: list[ast.Call] = []
+                numpy_fns: set[str] = set()
+                for node in scope_body_nodes(scope):
+                    if not isinstance(node, ast.Call):
+                        continue
+                    func = node.func
+                    if not (
+                        isinstance(func, ast.Attribute)
+                        and isinstance(func.value, ast.Name)
+                        and func.attr in TRANSCENDENTALS
+                    ):
+                        continue
+                    if func.value.id == "math" and not _literal_args(node):
+                        math_calls.append(node)
+                    elif func.value.id in _NUMPY_ALIASES:
+                        numpy_fns.add(func.attr)
+                if math_calls and numpy_fns:
+                    for call in math_calls:
+                        fn = call.func.attr  # type: ignore[union-attr]
+                        yield Finding(
+                            rule=self.id,
+                            path=str(module.path),
+                            line=call.lineno,
+                            message=f"{scope_name} mixes math.{fn} with "
+                            f"np.{{{', '.join(sorted(numpy_fns))}}} — the scalar "
+                            "and vectorized libm kernels are not bitwise equal",
+                            hint="keep one family per dataflow; for scalar "
+                            "semantics over arrays use the _MATH_* frompyfunc "
+                            "wrappers in space/encoding.py",
+                        )

@@ -1,0 +1,116 @@
+"""hot-path-purity: no per-row Python in the vectorized hot path.
+
+PRs 2/4/9 moved the climb/predict/score paths to whole-matrix numpy ops;
+the convention is that encoded row matrices stay in row space end to end
+and configurations are only decoded (dict-materialized) at the tuner
+boundary, for the handful of winners.  A per-row Python ``for`` loop,
+``.tolist()`` round-trip, or a decode inside a loop silently reverts a
+module to the legacy dict path — typically a 10-100x slowdown the
+benchmark gate only notices one PR later.
+
+Scope: modules carrying a ``# repro: hot-path`` marker comment.  Flags:
+
+* ``for`` statements whose iterable mentions a rows/pool/batch-like name
+  (``for row in rows``, ``zip(pool_rows, ...)``, ``range(len(candidates))``);
+* ``.tolist()`` calls (materializes Python objects per element);
+* ``decode``/``decode_row`` calls inside a ``for`` body (dict-decode per
+  iteration), reported when the loop itself is not already flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable
+
+from ..base import Finding, Rule, register_rule
+from ..source import Project
+
+#: names that signal an encoded candidate matrix / row batch
+_ROWS_NAME_RE = re.compile(
+    r"(?:^|_)(?:rows?|batch|pool|candidates|matrix|encoded)(?:_|$)"
+)
+
+_DECODE_NAMES = {"decode", "decode_row"}
+
+
+def _names_in(expr: ast.expr) -> Iterable[str]:
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Name):
+            yield node.id
+        elif isinstance(node, ast.Attribute):
+            yield node.attr
+
+
+def _decode_calls(loop: ast.For) -> Iterable[ast.Call]:
+    """Decode calls belonging to this loop (nested loops report their own)."""
+    stack: list[ast.AST] = list(loop.body) + list(loop.orelse)
+    while stack:
+        node = stack.pop(0)  # source order, so the anchor is the first decode
+        if isinstance(node, (ast.For, ast.While)):
+            continue
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = func.attr if isinstance(func, ast.Attribute) else (
+                func.id if isinstance(func, ast.Name) else None
+            )
+            if name in _DECODE_NAMES:
+                yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@register_rule
+class HotPathPurity(Rule):
+    id = "hot-path-purity"
+    summary = "no per-row loops / .tolist() / loop decode in hot-path modules"
+    invariant = "row-space hot path, decode only at the tuner boundary (PRs 2/4/9)"
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        for module in project.modules:
+            if not module.hot_path:
+                continue
+            path = str(module.path)
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.For):
+                    yield from self._check_loop(path, node)
+                elif (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "tolist"
+                ):
+                    yield Finding(
+                        rule=self.id,
+                        path=path,
+                        line=node.lineno,
+                        message=".tolist() materializes a Python object per "
+                        "element on the hot path",
+                        hint="stay in ndarray space; index/slice the array "
+                        "directly",
+                    )
+
+    def _check_loop(self, path: str, loop: ast.For) -> Iterable[Finding]:
+        rows_like = sorted(
+            {name for name in _names_in(loop.iter) if _ROWS_NAME_RE.search(name)}
+        )
+        if rows_like:
+            yield Finding(
+                rule=self.id,
+                path=path,
+                line=loop.lineno,
+                message="per-row Python for-loop over encoded rows "
+                f"({', '.join(rows_like)}) on the hot path",
+                hint="vectorize over the whole matrix, or decode only the "
+                "final winners at the tuner boundary",
+            )
+            return  # one finding per loop: don't double-report its decodes
+        for call in _decode_calls(loop):
+            yield Finding(
+                rule=self.id,
+                path=path,
+                line=call.lineno,
+                message="dict-decode inside a loop re-materializes "
+                "configurations per iteration on the hot path",
+                hint="batch-decode once outside the loop (encoder."
+                "decode_batch) or keep the dataflow in row space",
+            )
+            return  # anchor at the first decode; one finding per loop

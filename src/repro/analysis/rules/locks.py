@@ -1,0 +1,227 @@
+"""lock-discipline: a lightweight race detector for the threaded TCP tier.
+
+Two invariants from PR 5's concurrency design:
+
+* **guarded attributes** — within a class that owns a ``self._lock``, any
+  attribute that is ever *written* while holding ``with self._lock`` is a
+  shared mutable; reading or writing it anywhere else without the lock
+  (``__init__`` excepted) is a data race on the threaded server.  The
+  protected set is inferred from the class's own locking, so the rule needs
+  no annotation: lock a write once and every unlocked access lights up.
+* **lock order** — the documented order is registry ``_lock`` first,
+  per-session/entry lock second.  Acquiring ``self._lock`` while already
+  holding an ``<entry>.lock`` (or inside ``_locked_entry``) inverts that
+  order and can deadlock against ``_admit``/``_evict``.
+
+Scope: modules with a ``session``/``service``/``server`` basename — the
+ask/tell session object and the TCP service tier.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..base import Finding, Rule, dotted_name, register_rule
+from ..source import Project
+
+THREADED_MODULES = {"session", "service", "server"}
+
+#: method calls that mutate common containers in place
+_MUTATORS = {
+    "append",
+    "appendleft",
+    "extend",
+    "extendleft",
+    "add",
+    "insert",
+    "update",
+    "setdefault",
+    "pop",
+    "popleft",
+    "popitem",
+    "remove",
+    "discard",
+    "clear",
+    "move_to_end",
+}
+
+
+def _self_attr(node: ast.expr) -> str | None:
+    """``x`` for an expression rooted at ``self.x``, else None."""
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    chain: list[str] = []
+    while isinstance(node, ast.Attribute):
+        chain.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name) and node.id == "self" and chain:
+        return chain[-1]
+    return None
+
+
+def _is_self_lock(expr: ast.expr) -> bool:
+    return dotted_name(expr) == "self._lock"
+
+
+def _holds_entry_lock(expr: ast.expr) -> bool:
+    """True for ``entry.lock``-style context or ``self._locked_entry(...)``."""
+    if isinstance(expr, ast.Call):
+        name = dotted_name(expr.func) or ""
+        return name.endswith("_locked_entry")
+    name = dotted_name(expr) or ""
+    return name.endswith(".lock")
+
+
+class _AccessCollector(ast.NodeVisitor):
+    """Record (attr, line, is_write, locked, entry_locked) accesses."""
+
+    def __init__(self) -> None:
+        self.accesses: list[tuple[str, int, bool, bool, bool]] = []
+        self.inversions: list[int] = []
+        self._locked = False
+        self._entry_locked = False
+        self._acquired_entry_lock = False
+
+    def visit_With(self, node: ast.With) -> None:
+        was_locked, was_entry = self._locked, self._entry_locked
+        for item in node.items:
+            if _is_self_lock(item.context_expr):
+                if self._entry_locked or self._acquired_entry_lock:
+                    self.inversions.append(node.lineno)
+                self._locked = True
+            elif _holds_entry_lock(item.context_expr):
+                self._entry_locked = True
+            self.visit(item.context_expr)
+        for stmt in node.body:
+            self.visit(stmt)
+        self._locked, self._entry_locked = was_locked, was_entry
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = dotted_name(node.func) or ""
+        if name.endswith(".lock.acquire"):
+            self._acquired_entry_lock = True
+        elif isinstance(node.func, ast.Attribute):
+            attr = _self_attr(node.func.value)
+            if attr is not None and node.func.attr in _MUTATORS:
+                self.accesses.append(
+                    (attr, node.lineno, True, self._locked, self._entry_locked)
+                )
+        self.generic_visit(node)
+
+    def _record_targets(self, targets: Iterable[ast.expr]) -> None:
+        for target in targets:
+            attr = _self_attr(target)
+            if attr is not None:
+                self.accesses.append(
+                    (attr, target.lineno, True, self._locked, self._entry_locked)
+                )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self._record_targets(node.targets)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._record_targets([node.target])
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._record_targets([node.target])
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        self._record_targets(node.targets)
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if isinstance(node.ctx, ast.Load):
+            attr = _self_attr(node)
+            if attr is not None:
+                self.accesses.append(
+                    (attr, node.lineno, False, self._locked, self._entry_locked)
+                )
+        self.generic_visit(node)
+
+
+def _class_methods(cls: ast.ClassDef) -> list[ast.FunctionDef]:
+    return [
+        node
+        for node in cls.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+
+
+def _owns_lock(cls: ast.ClassDef) -> bool:
+    for method in _class_methods(cls):
+        if method.name != "__init__":
+            continue
+        for node in ast.walk(method):
+            if isinstance(node, ast.Assign) and any(
+                _self_attr(t) == "_lock" for t in node.targets
+            ):
+                return True
+    return False
+
+
+@register_rule
+class LockDiscipline(Rule):
+    id = "lock-discipline"
+    summary = "guarded attrs need `with self._lock`; registry lock before session lock"
+    invariant = "registry-then-session lock order, locked shared state (PR 5)"
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        for module in project.modules:
+            if module.basename not in THREADED_MODULES:
+                continue
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.ClassDef) and _owns_lock(node):
+                    yield from self._check_class(module, node)
+
+    def _check_class(self, module, cls: ast.ClassDef) -> Iterable[Finding]:
+        per_method: dict[str, _AccessCollector] = {}
+        for method in _class_methods(cls):
+            collector = _AccessCollector()
+            for stmt in method.body:
+                collector.visit(stmt)
+            per_method[method.name] = collector
+
+        # pass A: attrs written at least once under the lock are "guarded"
+        guarded: set[str] = set()
+        for name, collector in per_method.items():
+            if name == "__init__":
+                continue
+            for attr, _line, is_write, locked, _entry in collector.accesses:
+                if is_write and locked and attr != "_lock":
+                    guarded.add(attr)
+
+        # pass B: any access to a guarded attr outside the lock
+        for name, collector in per_method.items():
+            if name == "__init__":
+                continue
+            reported: set[str] = set()
+            for attr, line, _is_write, locked, _entry in collector.accesses:
+                if attr in guarded and not locked and attr not in reported:
+                    reported.add(attr)
+                    yield Finding(
+                        rule=self.id,
+                        path=str(module.path),
+                        line=line,
+                        message=f"{cls.name}.{name} touches self.{attr} "
+                        "without holding self._lock, but other methods "
+                        "mutate it under the lock",
+                        hint="wrap the access in `with self._lock:` (RLock — "
+                        "re-entry is safe) or suppress if the caller "
+                        "provably holds it",
+                    )
+            for line in collector.inversions:
+                yield Finding(
+                    rule=self.id,
+                    path=str(module.path),
+                    line=line,
+                    message=f"{cls.name}.{name} acquires self._lock while "
+                    "holding a per-entry lock — inverts the documented "
+                    "registry-then-session lock order",
+                    hint="take self._lock first, or release the entry lock "
+                    "before touching registry state",
+                )

@@ -1,0 +1,82 @@
+"""strict-json: the wire protocol rejects NaN/Infinity at both ends.
+
+PR 5 established the service convention: every ``json.dumps`` on the wire
+passes ``allow_nan=False`` (so a NaN objective can never silently become
+invalid JSON the peer may or may not parse) and every ``json.loads``
+installs a ``parse_constant`` hook that rejects ``NaN``/``Infinity``
+tokens.  Exact non-finite floats travel as ``{"$float": repr}`` markers via
+``wire_encode``/``wire_decode`` instead.
+
+Scope: the wire modules (``client``/``service``/``server`` basenames).
+Disk checkpoints (``runner.py``) deliberately stay on permissive JSON.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..base import Finding, Rule, register_rule
+from ..source import Project
+
+WIRE_MODULES = {"client", "service", "server"}
+
+
+def _keyword(node: ast.Call, name: str) -> ast.keyword | None:
+    for kw in node.keywords:
+        if kw.arg == name:
+            return kw
+    return None
+
+
+@register_rule
+class StrictJson(Rule):
+    id = "strict-json"
+    summary = "wire json.dumps needs allow_nan=False, json.loads a parse_constant hook"
+    invariant = "strict-JSON service framing (PR 5)"
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        for module in project.modules:
+            if module.basename not in WIRE_MODULES:
+                continue
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                if not (
+                    isinstance(func, ast.Attribute)
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == "json"
+                ):
+                    continue
+                if func.attr == "dumps":
+                    kw = _keyword(node, "allow_nan")
+                    strict = (
+                        kw is not None
+                        and isinstance(kw.value, ast.Constant)
+                        and kw.value.value is False
+                    )
+                    if not strict:
+                        yield Finding(
+                            rule=self.id,
+                            path=str(module.path),
+                            line=node.lineno,
+                            message="json.dumps on the wire without "
+                            "allow_nan=False can emit bare NaN/Infinity "
+                            "tokens the peer must not accept",
+                            hint="pass allow_nan=False and route non-finite "
+                            "floats through wire_encode",
+                        )
+                elif func.attr == "loads":
+                    if _keyword(node, "parse_constant") is None:
+                        yield Finding(
+                            rule=self.id,
+                            path=str(module.path),
+                            line=node.lineno,
+                            message="json.loads on the wire without a "
+                            "parse_constant hook silently accepts "
+                            "NaN/Infinity tokens",
+                            hint="pass parse_constant=_reject_constant "
+                            "(see service.py) and decode $float markers "
+                            "via wire_decode",
+                        )

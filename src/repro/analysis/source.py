@@ -1,0 +1,166 @@
+"""Parsed source files, suppression comments, and module markers.
+
+Two comment conventions drive the checker:
+
+* ``# repro: allow[rule-id] <justification>`` — suppress findings of
+  ``rule-id`` on the same line (or, when the comment stands alone on its own
+  line, on the line directly below).  Several ids may be listed,
+  comma-separated.  The justification text is *required*: a bare allow
+  comment does not suppress anything and is itself reported.
+* ``# repro: hot-path`` — marks a module as belonging to the vectorized hot
+  path, which opts it into the ``hot-path-purity`` and
+  ``float-determinism`` rules.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+__all__ = ["Suppression", "SourceModule", "Project", "load_project"]
+
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9_,\s-]+)\]\s*(.*)$")
+_HOT_PATH_RE = re.compile(r"^\s*#\s*repro:\s*hot-path\b")
+
+
+@dataclass
+class Suppression:
+    """One ``# repro: allow[...]`` comment."""
+
+    line: int  # line the comment sits on (1-based)
+    rule_ids: tuple[str, ...]
+    justification: str
+    standalone: bool  # comment-only line: applies to the following line
+    used: bool = False
+
+    def covers(self, line: int) -> bool:
+        if line == self.line:
+            return True
+        return self.standalone and line == self.line + 1
+
+
+@dataclass
+class SourceModule:
+    """One parsed python file."""
+
+    path: Path
+    name: str  # dotted module name, e.g. "repro.core.baco"
+    text: str
+    tree: ast.Module
+    suppressions: list[Suppression] = field(default_factory=list)
+    hot_path: bool = False
+
+    @property
+    def basename(self) -> str:
+        """Last dotted component — rules scope by it so that fixture files in
+        a temp directory behave like their in-tree namesakes."""
+        return self.name.rpartition(".")[2]
+
+    def suppression_for(self, rule_id: str, line: int) -> Suppression | None:
+        for supp in self.suppressions:
+            if rule_id in supp.rule_ids and supp.justification and supp.covers(line):
+                return supp
+        return None
+
+
+@dataclass
+class Project:
+    """All modules under the checked paths, parsed once and shared by rules."""
+
+    modules: list[SourceModule]
+    errors: list[str] = field(default_factory=list)
+
+    def by_basename(self, basename: str) -> list[SourceModule]:
+        return [m for m in self.modules if m.basename == basename]
+
+
+def _iter_comments(text: str) -> Iterable[tuple[int, int, str]]:
+    """``(line, column, comment_text)`` for every real comment token.
+
+    Tokenizing (rather than regex over raw lines) keeps the conventions out
+    of string literals and docstrings — e.g. this module's own docs.
+    """
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(text).readline)
+        for tok in tokens:
+            if tok.type == tokenize.COMMENT:
+                yield tok.start[0], tok.start[1], tok.string
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return
+
+
+def _parse_suppressions(text: str) -> list[Suppression]:
+    out: list[Suppression] = []
+    for lineno, column, comment in _iter_comments(text):
+        match = _ALLOW_RE.search(comment)
+        if match is None:
+            continue
+        ids = tuple(
+            part.strip() for part in match.group(1).split(",") if part.strip()
+        )
+        justification = match.group(2).strip()
+        standalone = _line_is_comment_only(text, lineno)
+        out.append(Suppression(lineno, ids, justification, standalone))
+    return out
+
+
+def _line_is_comment_only(text: str, lineno: int) -> bool:
+    line = text.splitlines()[lineno - 1]
+    return line.lstrip().startswith("#")
+
+
+def _module_name(path: Path) -> str:
+    """Dotted module name, walking up while ``__init__.py`` siblings exist."""
+    path = path.resolve()
+    parts = [path.stem] if path.stem != "__init__" else []
+    parent = path.parent
+    while (parent / "__init__.py").exists():
+        parts.insert(0, parent.name)
+        parent = parent.parent
+    return ".".join(parts) if parts else path.stem
+
+
+def _iter_python_files(paths: Iterable[Path]) -> Iterable[Path]:
+    seen: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield resolved
+
+
+def load_project(paths: Iterable[Path]) -> Project:
+    """Parse every ``*.py`` under ``paths`` (files or directories)."""
+    modules: list[SourceModule] = []
+    errors: list[str] = []
+    for path in _iter_python_files(paths):
+        try:
+            text = path.read_text(encoding="utf-8")
+            tree = ast.parse(text, filename=str(path))
+        except (OSError, SyntaxError) as exc:
+            errors.append(f"{path}: {exc}")
+            continue
+        modules.append(
+            SourceModule(
+                path=path,
+                name=_module_name(path),
+                text=text,
+                tree=tree,
+                suppressions=_parse_suppressions(text),
+                hot_path=any(
+                    _HOT_PATH_RE.match(comment)
+                    for _line, _col, comment in _iter_comments(text)
+                ),
+            )
+        )
+    return Project(modules=modules, errors=errors)

@@ -31,7 +31,7 @@ import time
 from typing import Any, Callable, Mapping
 
 from .core.result import ObjectiveResult, configuration_from_json
-from .service import wire_decode
+from .service import _reject_constant, wire_decode
 
 __all__ = ["ServiceError", "TuningClient"]
 
@@ -90,7 +90,14 @@ class TuningClient:
                 ) from exc
         if not raw:
             raise ConnectionError("server closed the connection")
-        response = json.loads(raw.decode("utf-8"))
+        try:
+            # the server is strict (allow_nan=False), so a bare NaN/Infinity
+            # token can only mean a corrupt or non-conforming peer
+            response = json.loads(
+                raw.decode("utf-8"), parse_constant=_reject_constant
+            )
+        except ValueError as exc:
+            raise ConnectionError(f"malformed server response: {raw!r}") from exc
         if not isinstance(response, dict):
             raise ConnectionError(f"malformed server response: {raw!r}")
         return wire_decode(response)

@@ -17,6 +17,7 @@ candidate set once, runs a single GP predict over the encoded rows, and —
 when the feasibility model shares the GP's encoding layout — reuses the same
 rows for a single batched random-forest pass.
 """
+# repro: hot-path — row-space module: per-row Python loops, .tolist(), and in-loop decode are flagged (see repro.analysis)
 
 from __future__ import annotations
 
@@ -302,6 +303,7 @@ class FusedAcquisitionScorer:
             dtype=float,
         )
         memo = self._memo
+        # repro: allow[hot-path-purity] memo seeding: one dict insert per row after a single fused batch predict — no vectorized dict alternative
         for row, value in zip(rows, values):
             memo[row.tobytes()] = float(value)
         return values

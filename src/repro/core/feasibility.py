@@ -37,7 +37,7 @@ class FeasibilityModel:
         rng: np.random.Generator | None = None,
     ) -> None:
         self.space = space
-        self._rng = rng if rng is not None else np.random.default_rng()
+        self._rng = rng if rng is not None else np.random.default_rng(0)
         self._forest = RandomForestClassifier(
             n_trees=n_trees, max_depth=max_depth, rng=self._rng
         )

@@ -22,6 +22,7 @@ Chain-of-Trees, feasibility by compiled residual constraints), and one
 batched acquisition call scores it.  Configurations are decoded to dicts only
 for the returned winners, i.e. at the tuner boundary.
 """
+# repro: hot-path — row-space module: per-row Python loops, .tolist(), and in-loop decode are flagged (see repro.analysis)
 
 from __future__ import annotations
 
@@ -220,6 +221,7 @@ def multistart_local_search_batch(
             (current[i], float(current_values[i])),
             (starts[i], float(start_values[i])),
         ]
+        # repro: allow[hot-path-purity] tuner boundary: decodes at most two rows (climbed optimum, original start) per start
         for row, row_value in candidate_pool:
             config = decode(row)
             if space.freeze(config) in excluded:
@@ -249,7 +251,7 @@ def multistart_local_search_batch(
             break
         if not np.isfinite(values[i]):
             continue
-        config = decode(candidates[i])
+        config = decode(candidates[i])  # repro: allow[hot-path-purity] boundary back-fill: decodes at most k ranked winners
         key = space.freeze(config)
         if key in excluded or key in taken:
             continue
@@ -389,6 +391,7 @@ def pooled_local_search_batch(
             (current[i], float(current_values[i])),
             (starts[i], float(start_values[i])),
         ]
+        # repro: allow[hot-path-purity] tuner boundary: decodes at most two rows (climbed optimum, original start) per start
         for row, row_value in candidate_pool:
             config = decode(row)
             if space.freeze(config) in excluded:
@@ -415,7 +418,7 @@ def pooled_local_search_batch(
             break
         if not np.isfinite(pool_values[i]):
             continue
-        config = decode(pool_rows[i])
+        config = decode(pool_rows[i])  # repro: allow[hot-path-purity] boundary back-fill: decodes at most k ranked winners
         key = space.freeze(config)
         if key in excluded or key in taken:
             continue

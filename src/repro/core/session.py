@@ -202,12 +202,14 @@ class TuningSession:
     @property
     def done(self) -> bool:
         """True once the budget is exhausted (every evaluation told back)."""
-        return len(self.history) >= self.budget
+        with self._lock:
+            return len(self.history) >= self.budget
 
     @property
     def remaining(self) -> int:
         """Evaluations still to be told before the budget is exhausted."""
-        return max(0, self.budget - len(self.history))
+        with self._lock:
+            return max(0, self.budget - len(self.history))
 
     @property
     def pending(self) -> tuple[Suggestion, ...]:

@@ -36,6 +36,7 @@ indicators, and matmul inner products whose summation never crosses pairs —
 block assembly is again bit-identical to a full
 :meth:`DistanceComputer.pairwise_rows` recompute.
 """
+# repro: hot-path — row-space module: per-row Python loops, .tolist(), and in-loop decode are flagged (see repro.analysis)
 
 from __future__ import annotations
 

@@ -153,7 +153,7 @@ class GaussianProcess:
         self.n_refined_starts = n_refined_starts
         self.max_optimizer_iterations = max_optimizer_iterations
         self.advanced_fit = advanced_fit
-        self._rng = rng if rng is not None else np.random.default_rng()
+        self._rng = rng if rng is not None else np.random.default_rng(0)
         self._distance = (
             distance_computer
             if distance_computer is not None

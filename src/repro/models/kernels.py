@@ -15,6 +15,7 @@ where the per-dimension distances come from
 ``l_i`` are learned by MAP estimation.  An RBF kernel is provided for
 completeness / ablations.
 """
+# repro: hot-path — row-space module: per-row Python loops, .tolist(), and in-loop decode are flagged (see repro.analysis)
 
 from __future__ import annotations
 

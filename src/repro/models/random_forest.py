@@ -56,7 +56,7 @@ class DecisionTree:
         self.min_samples_split = min_samples_split
         self.min_samples_leaf = min_samples_leaf
         self.max_features = max_features
-        self._rng = rng if rng is not None else np.random.default_rng()
+        self._rng = rng if rng is not None else np.random.default_rng(0)
         self._root: _Node | None = None
         self.n_features_: int | None = None
 
@@ -194,7 +194,7 @@ class _BaseForest:
         self.min_samples_leaf = min_samples_leaf
         self.max_features = max_features
         self.bootstrap = bootstrap
-        self._rng = rng if rng is not None else np.random.default_rng()
+        self._rng = rng if rng is not None else np.random.default_rng(0)
         self.trees_: list[DecisionTree] = []
 
     def fit(self, features: np.ndarray, targets: np.ndarray):

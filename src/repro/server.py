@@ -67,7 +67,8 @@ class TuningRequestHandler(socketserver.StreamRequestHandler):
                         "ok": False,
                         "error": f"bad request: request line exceeds "
                                  f"{MAX_LINE_BYTES} bytes",
-                    }
+                    },
+                    allow_nan=False,
                 )
             else:
                 response = registry.handle_line(line)

@@ -223,7 +223,8 @@ class SessionRegistry:
                 {
                     "ok": False,
                     "error": f"unserializable response: {type(exc).__name__}: {exc}",
-                }
+                },
+                allow_nan=False,
             )
 
     def handle(self, request: Mapping[str, Any]) -> dict[str, Any]:
@@ -301,6 +302,7 @@ class SessionRegistry:
         while True:
             entry = self._get_entry(name)
             entry.lock.acquire()
+            # repro: allow[lock-discipline] documented-safe inversion: nothing ever blocks on a session lock while holding the registry lock (see docstring)
             with self._lock:
                 if self._sessions.get(name) is entry:
                     break
@@ -393,6 +395,7 @@ class SessionRegistry:
         other sessions that are already past `_locked_entry` proceed
         unaffected.
         """
+        # repro: allow[lock-discipline] _locked suffix contract: every caller already holds the registry lock
         while len(self._sessions) > self.max_sessions:
             victim = None
             for name, entry in self._sessions.items():  # front == LRU
@@ -638,6 +641,7 @@ class SessionRegistry:
                 saved = self._autosave_path(name)
                 if saved is not None and not saved.exists():
                     saved = None
+            # repro: allow[lock-discipline] same documented-safe inversion as _locked_entry: the registry lock is never held while blocking on a session lock
             with self._lock:
                 if self._sessions.get(name) is entry:
                     del self._sessions[name]

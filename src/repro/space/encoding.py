@@ -24,6 +24,7 @@ maps any encoded row back to a configuration (nearest legal value per
 parameter, rank-projection for permutation blocks), and
 ``decode(encode(c)) == c`` up to canonicalization for every parameter type.
 """
+# repro: hot-path — row-space module: per-row Python loops, .tolist(), and in-loop decode are flagged (see repro.analysis)
 
 from __future__ import annotations
 

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from functools import lru_cache
 
+import numpy as np
+
 from ..compilers.rise import RiseCpuKernel, RiseGpuKernel
 from ..space.constraints import Constraint
 from ..space.parameters import OrdinalParameter, PermutationParameter
@@ -204,7 +206,7 @@ def build_rise_benchmark(benchmark: str) -> Benchmark:
         raise KeyError(f"unknown RISE benchmark {benchmark!r}; available: {sorted(_BUILDERS)}")
     space, kernel, default, pinned = _BUILDERS[benchmark]()
     if not space.is_feasible(default):
-        default = space.sample_one(__import__("numpy").random.default_rng(0))
+        default = space.sample_one(np.random.default_rng(0))
     expert = expert_search(space, kernel, default, pinned=pinned)
     return Benchmark(
         name=f"rise_{benchmark}",
